@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the `optim` solver substrate: sparse LDLᵀ
+//! factorization, fill-reducing ordering, interior-point LP solves, and the
+//! simplex cross-check, at the problem shapes the edge-cloud experiments
+//! produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optim::linalg::{min_degree_ordering, LdlSymbolic};
+use optim::lp::{ConstraintSense, LpProblem};
+use optim::sparse::Triplets;
+
+/// A transportation-style LP: `nsrc` demand rows, `ndst` capacity rows.
+fn transportation_lp(nsrc: usize, ndst: usize) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let mut vars = vec![vec![0usize; ndst]; nsrc];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = lp.add_var(1.0 + ((i * 31 + j * 17) % 7) as f64);
+        }
+    }
+    for (i, row) in vars.iter().enumerate() {
+        let terms: Vec<(usize, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_row(ConstraintSense::Ge, 1.0 + (i % 3) as f64, &terms);
+    }
+    for j in 0..ndst {
+        let terms: Vec<(usize, f64)> = (0..nsrc).map(|i| (vars[i][j], 1.0)).collect();
+        lp.add_row(ConstraintSense::Le, 2.0 * nsrc as f64 / ndst as f64, &terms);
+    }
+    lp
+}
+
+/// Lower triangle of a 2-D grid Laplacian (+4I), `side²` unknowns.
+fn grid_matrix(side: usize) -> optim::sparse::CscMatrix {
+    let n = side * side;
+    let mut t = Triplets::new(n, n);
+    let idx = |r: usize, c: usize| r * side + c;
+    for r in 0..side {
+        for c in 0..side {
+            t.push(idx(r, c), idx(r, c), 8.0);
+            if r + 1 < side {
+                t.push(idx(r + 1, c), idx(r, c), -1.0);
+            }
+            if c + 1 < side {
+                t.push(idx(r, c + 1), idx(r, c), -1.0);
+            }
+        }
+    }
+    t.to_csc()
+}
+
+fn bench_ldl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldl_factor");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let a = grid_matrix(side);
+        let perm = min_degree_ordering(&a);
+        let sym = LdlSymbolic::new(&a, Some(perm));
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            b.iter(|| sym.factor(&a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_degree_ordering");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let a = grid_matrix(side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            b.iter(|| min_degree_ordering(&a));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ipm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipm_transportation");
+    group.sample_size(10);
+    for (nsrc, ndst) in [(15usize, 15usize), (40, 15), (100, 15)] {
+        let lp = transportation_lp(nsrc, ndst);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nsrc}x{ndst}")),
+            &lp,
+            |b, lp| {
+                b.iter(|| lp.solve().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simplex_vs_ipm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_vs_ipm_10x10");
+    group.sample_size(10);
+    let lp = transportation_lp(10, 10);
+    group.bench_function("ipm", |b| b.iter(|| lp.solve().unwrap()));
+    group.bench_function("simplex", |b| b.iter(|| lp.solve_simplex().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldl, bench_ordering, bench_ipm, bench_simplex_vs_ipm);
+criterion_main!(benches);

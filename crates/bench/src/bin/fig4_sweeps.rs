@@ -1,0 +1,66 @@
+//! Figure 4 — the impact of the regularization parameter `ε` (with
+//! `ε₁ = ε₂ = ε`) and of the dynamic/static weight ratio `μ` on the
+//! empirical competitive ratio, both swept over `10⁻³ … 10³`.
+//!
+//! Expected shape: the ε curve dips slightly and then rises to a stable
+//! level; the μ curve is ≈1 for small μ (static cost negligible → per-slot
+//! optimization is optimal) and stabilizes at a reasonably good ratio for
+//! large μ.
+
+use bench::{maybe_write, Flags};
+use sim::metrics::Series;
+use sim::report::{series_json, series_table};
+use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
+
+fn main() {
+    let flags = Flags::from_env();
+    let users = flags.usize("users", 24);
+    let slots = flags.usize("slots", 18);
+    let reps = flags.usize("reps", 3);
+    let seed = flags.u64("seed", 2017);
+    let grid: Vec<f64> = (-3..=3).map(|e| 10f64.powi(e)).collect();
+
+    // ---- ε sweep ----
+    let mut eps_series = Series::new("online-approx");
+    for &eps in &grid {
+        let scenario = Scenario {
+            name: format!("fig4-eps-{eps}"),
+            mobility: MobilityKind::Taxi { num_users: users },
+            num_slots: slots,
+            algorithms: vec![AlgorithmKind::Approx { eps }],
+            repetitions: reps,
+            seed,
+            ..Scenario::default()
+        };
+        eprintln!("running {} ...", scenario.name);
+        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        eps_series.push_from(eps, &outcome.algorithms[0].ratios);
+    }
+    println!("Figure 4 (left) — competitive ratio vs ε (= ε₁ = ε₂)");
+    println!("{}", series_table("epsilon", &[eps_series.clone()]));
+
+    // ---- μ sweep ----
+    let mut mu_series = Series::new("online-approx");
+    for &mu in &grid {
+        let scenario = Scenario {
+            name: format!("fig4-mu-{mu}"),
+            mobility: MobilityKind::Taxi { num_users: users },
+            num_slots: slots,
+            dynamic_weight: mu,
+            algorithms: vec![AlgorithmKind::Approx { eps: 0.5 }],
+            repetitions: reps,
+            seed,
+            ..Scenario::default()
+        };
+        eprintln!("running {} ...", scenario.name);
+        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        mu_series.push_from(mu, &outcome.algorithms[0].ratios);
+    }
+    println!("Figure 4 (right) — competitive ratio vs μ (dynamic/static weight)");
+    println!("{}", series_table("mu", &[mu_series.clone()]));
+
+    let mut json = series_json(&[eps_series]);
+    json.push('\n');
+    json.push_str(&series_json(&[mu_series]));
+    maybe_write(flags.str("json"), &json);
+}

@@ -1,0 +1,17 @@
+//! Profiling helper for the horizon LP (not part of the figure suite).
+use edgealloc::prelude::*;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let users: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(40);
+    let slots: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(36);
+    let net = mobility::rome_metro();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = mobility::taxi::TaxiConfig { num_users: users, num_slots: slots, ..Default::default() };
+    let mob = mobility::taxi::generate(&net, &cfg, &mut rng);
+    let inst = Instance::synthetic(&net, mob, &mut rng);
+    let t0 = Instant::now();
+    let off = solve_offline(&inst).unwrap();
+    println!("offline J={users} T={slots}: {:?}, cost {:.2}", t0.elapsed(), off.cost.total());
+}

@@ -1,0 +1,26 @@
+//! Profiling helper for the online algorithms (not part of the figure suite).
+use edgealloc::prelude::*;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let users: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(30);
+    let slots: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(24);
+    let net = mobility::rome_metro();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = mobility::taxi::TaxiConfig { num_users: users, num_slots: slots, ..Default::default() };
+    let mob = mobility::taxi::generate(&net, &cfg, &mut rng);
+    let inst = Instance::synthetic(&net, mob, &mut rng);
+    for (name, alg) in [
+        ("approx", Box::new(OnlineRegularized::with_defaults()) as Box<dyn OnlineAlgorithm>),
+        ("greedy", Box::new(OnlineGreedy::new())),
+        ("stat-opt", Box::new(StatOpt::new())),
+        ("perf-opt", Box::new(PerfOpt::new())),
+    ] {
+        let mut alg = alg;
+        let t0 = Instant::now();
+        let traj = run_online(&inst, alg.as_mut()).unwrap();
+        let c = evaluate_trajectory(&inst, &traj.allocations).total();
+        println!("{name}: {:?} cost {c:.2}", t0.elapsed());
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (see DESIGN.md's experiment index) and accepts the same
+//! flags:
+//!
+//! ```text
+//! --users N    number of users (default per figure)
+//! --slots N    number of time slots (default per figure)
+//! --reps N     repetitions per point (default 5, as in the paper)
+//! --seed N     base RNG seed
+//! --json PATH  also write the raw series as JSON
+//! ```
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags (`--key value` pairs only).
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `std::env::args`, ignoring the binary name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a flag without a value.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling flag or a non-flag token.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {key:?}; flags are --key value"));
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            values.insert(key.to_string(), value.clone());
+        }
+        Flags { values }
+    }
+
+    /// A `usize` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// An optional string flag.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+}
+
+/// Writes `content` to `path` if `path` is `Some`, creating parent
+/// directories; logs the destination.
+///
+/// # Panics
+///
+/// Panics on I/O failure (acceptable in an experiment binary).
+pub fn maybe_write(path: Option<&str>, content: &str) {
+    if let Some(p) = path {
+        if let Some(parent) = std::path::Path::new(p).parent() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+        std::fs::write(p, content).expect("write output file");
+        eprintln!("wrote {p}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &[&str]) -> Flags {
+        Flags::from_args(&s.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = flags(&["--users", "40", "--json", "/tmp/x.json"]);
+        assert_eq!(f.usize("users", 10), 40);
+        assert_eq!(f.usize("slots", 30), 30);
+        assert_eq!(f.str("json"), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn dangling_flag_panics() {
+        let _ = flags(&["--users"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let f = flags(&["--users", "many"]);
+        let _ = f.usize("users", 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Online algorithms and offline baselines.
+//!
+//! The online algorithms implement [`OnlineAlgorithm`] and see only a
+//! [`SlotInput`] — the information revealed at the current slot — plus the
+//! previous slot's allocation, exactly matching the paper's online model.
+//! The offline optimum ([`solve_offline`]) deliberately does *not*
+//! implement the trait: it requires the whole future.
+
+mod atomistic;
+mod greedy;
+mod offline;
+mod regularized;
+mod static_alloc;
+
+pub use atomistic::{OperOpt, PerfOpt, StatOpt};
+pub use greedy::OnlineGreedy;
+pub use offline::{solve_offline, solve_offline_with, OfflineSolution};
+pub use regularized::{repair_capacity, OnlineRegularized};
+pub use static_alloc::{StaticPolicy, StaticVariant};
+
+use crate::allocation::Allocation;
+use crate::cost::CostWeights;
+use crate::instance::Instance;
+use crate::system::EdgeCloudSystem;
+use crate::Result;
+
+/// Everything an online algorithm may observe at slot `t`: the static
+/// system description, the prices and attachments *of this slot*, and
+/// nothing about the future.
+#[derive(Debug, Clone)]
+pub struct SlotInput<'a> {
+    /// The slot index (0-based).
+    pub t: usize,
+    /// The static system (capacities, inter-cloud delays).
+    pub system: &'a EdgeCloudSystem,
+    /// Workloads `λ_j`.
+    pub workloads: &'a [f64],
+    /// This slot's operation prices `a_{i,t}`.
+    pub operation_prices: &'a [f64],
+    /// This slot's attachments `l_{j,t}`.
+    pub attachment: Vec<usize>,
+    /// This slot's access delays `d(j, l_{j,t})`.
+    pub access_delay: Vec<f64>,
+    /// Static reconfiguration prices `c_i`.
+    pub reconfig_prices: &'a [f64],
+    /// Static outgoing migration prices `b_i^{out}`.
+    pub migration_out: &'a [f64],
+    /// Static incoming migration prices `b_i^{in}`.
+    pub migration_in: &'a [f64],
+    /// Cost weights.
+    pub weights: CostWeights,
+}
+
+impl<'a> SlotInput<'a> {
+    /// Extracts the slot-`t` view of an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= inst.num_slots()`.
+    pub fn from_instance(inst: &'a Instance, t: usize) -> Self {
+        assert!(t < inst.num_slots(), "slot {t} out of range");
+        let num_users = inst.num_users();
+        SlotInput {
+            t,
+            system: inst.system(),
+            workloads: inst.workloads(),
+            operation_prices: inst.operation_prices_at(t),
+            attachment: (0..num_users).map(|j| inst.attached(j, t)).collect(),
+            access_delay: (0..num_users).map(|j| inst.access_delay(j, t)).collect(),
+            reconfig_prices: reconfig_slice(inst),
+            migration_out: migration_out_slice(inst),
+            migration_in: migration_in_slice(inst),
+            weights: inst.weights(),
+        }
+    }
+
+    /// Number of edge clouds.
+    pub fn num_clouds(&self) -> usize {
+        self.system.num_clouds()
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Folded migration price `b_i = b_i^{out} + b_i^{in}`.
+    pub fn migration_total(&self, i: usize) -> f64 {
+        self.migration_out[i] + self.migration_in[i]
+    }
+}
+
+fn reconfig_slice(inst: &Instance) -> &[f64] {
+    // Helper indirection keeps `SlotInput::from_instance` readable.
+    inst.reconfig_prices_slice()
+}
+fn migration_out_slice(inst: &Instance) -> &[f64] {
+    inst.migration_out_slice()
+}
+fn migration_in_slice(inst: &Instance) -> &[f64] {
+    inst.migration_in_slice()
+}
+
+/// An online decision rule: given the information revealed at slot `t` and
+/// the previous allocation, produce this slot's allocation.
+pub trait OnlineAlgorithm {
+    /// Human-readable algorithm name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Decides the allocation for the slot described by `input`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate solver failures.
+    fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation>;
+
+    /// Clears any internal state so the algorithm can run a fresh horizon.
+    fn reset(&mut self) {}
+}
+
+/// A complete run of an online algorithm over a horizon.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// One allocation per slot.
+    pub allocations: Vec<Allocation>,
+}
+
+/// Runs an online algorithm over every slot of the instance, starting from
+/// the all-zero allocation (`x_{i,j,0} ≜ 0`).
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn run_online<A: OnlineAlgorithm + ?Sized>(
+    inst: &Instance,
+    alg: &mut A,
+) -> Result<Trajectory> {
+    alg.reset();
+    let mut prev = Allocation::zeros(inst.num_clouds(), inst.num_users());
+    let mut allocations = Vec::with_capacity(inst.num_slots());
+    for t in 0..inst.num_slots() {
+        let input = SlotInput::from_instance(inst, t);
+        let mut x = alg.decide(&input, &prev)?;
+        x.clamp_nonnegative(1e-6);
+        prev = x.clone();
+        allocations.push(x);
+    }
+    Ok(Trajectory { allocations })
+}

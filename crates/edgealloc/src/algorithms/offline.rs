@@ -1,0 +1,133 @@
+//! `offline-opt` — the clairvoyant optimum used as the normalizer.
+
+use crate::allocation::Allocation;
+use crate::cost::{evaluate_trajectory, CostBreakdown};
+use crate::instance::Instance;
+use crate::programs::horizon_lp;
+use crate::Result;
+use optim::lp::IpmOptions;
+
+/// The offline optimum of ℙ₀ together with its cost.
+#[derive(Debug, Clone)]
+pub struct OfflineSolution {
+    /// Optimal per-slot allocations.
+    pub allocations: Vec<Allocation>,
+    /// The cost of the optimal trajectory (evaluated by the independent
+    /// cost model, not read off the LP objective).
+    pub cost: CostBreakdown,
+}
+
+/// Solves the full-horizon LP with a global view over all time slots —
+/// "impractical and only serves as a baseline" (§V-B). All empirical
+/// competitive ratios are normalized by this value.
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+///
+/// # Example
+///
+/// ```
+/// use edgealloc::prelude::*;
+///
+/// # fn main() -> Result<(), edgealloc::Error> {
+/// let inst = Instance::fig1_example(2.1, true);
+/// let off = solve_offline(&inst)?;
+/// assert_eq!(off.allocations.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_offline(inst: &Instance) -> Result<OfflineSolution> {
+    solve_offline_with(inst, &IpmOptions::default())
+}
+
+/// [`solve_offline`] with explicit interior-point options.
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+pub fn solve_offline_with(inst: &Instance, opts: &IpmOptions) -> Result<OfflineSolution> {
+    let mut allocations = horizon_lp::solve(inst, opts)?;
+    for x in &mut allocations {
+        x.clamp_nonnegative(1e-6);
+    }
+    let cost = evaluate_trajectory(inst, &allocations);
+    Ok(OfflineSolution { allocations, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{run_online, OnlineGreedy};
+    use crate::cost::transition_cost;
+
+    fn cost_without_ramp(inst: &Instance, allocs: &[Allocation]) -> f64 {
+        let full = evaluate_trajectory(inst, allocs).total();
+        let ramp = transition_cost(
+            inst,
+            &Allocation::zeros(inst.num_clouds(), inst.num_users()),
+            &allocs[0],
+        )
+        .total();
+        full - ramp
+    }
+
+    #[test]
+    fn fig1a_offline_cost_is_9_6() {
+        let inst = Instance::fig1_example(2.1, true);
+        let off = solve_offline(&inst).unwrap();
+        let total = cost_without_ramp(&inst, &off.allocations);
+        assert!((total - 9.6).abs() < 1e-4, "offline cost {total}, expected 9.6");
+    }
+
+    #[test]
+    fn fig1b_offline_beats_papers_narrative_optimum() {
+        // The paper's Fig 1(b) narrative optimum (allocate at A, migrate to
+        // B at t=1) costs 9.5. The true LP optimum is 9.4: with full
+        // knowledge it allocates at B from the first slot, paying the
+        // inter-cloud delay once (slot 0) and no migration at all. We
+        // verify both numbers (erratum recorded in DESIGN.md).
+        let inst = Instance::fig1_example(1.9, false);
+        let off = solve_offline(&inst).unwrap();
+        let total = cost_without_ramp(&inst, &off.allocations);
+        assert!((total - 9.4).abs() < 1e-4, "offline cost {total}, expected 9.4");
+
+        // The paper's suggested policy, evaluated by the same cost model.
+        let mut at_a = Allocation::zeros(2, 1);
+        at_a.set(0, 0, 1.0);
+        let mut at_b = Allocation::zeros(2, 1);
+        at_b.set(1, 0, 1.0);
+        let papers = vec![at_a, at_b.clone(), at_b];
+        let papers_total = cost_without_ramp(&inst, &papers);
+        assert!(
+            (papers_total - 9.5).abs() < 1e-9,
+            "paper's policy costs {papers_total}, expected 9.5"
+        );
+        assert!(total <= papers_total);
+    }
+
+    #[test]
+    fn offline_never_worse_than_greedy() {
+        for (dab, returns) in [(2.1, true), (1.9, false)] {
+            let inst = Instance::fig1_example(dab, returns);
+            let off = solve_offline(&inst).unwrap();
+            let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+            let gcost = evaluate_trajectory(&inst, &greedy.allocations).total();
+            assert!(
+                off.cost.total() <= gcost + 1e-6,
+                "offline {} vs greedy {gcost}",
+                off.cost.total()
+            );
+        }
+    }
+
+    #[test]
+    fn offline_allocations_are_feasible() {
+        let inst = Instance::fig1_example(2.1, true);
+        let off = solve_offline(&inst).unwrap();
+        for x in &off.allocations {
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-5);
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! `online-approx` — the paper's regularization-based online algorithm.
+
+use crate::algorithms::{OnlineAlgorithm, SlotInput};
+use crate::allocation::Allocation;
+use crate::programs::p2::{self, CapacityMode, Epsilons};
+use crate::Result;
+use optim::convex::BarrierOptions;
+
+/// The paper's online algorithm (§III-B): at every slot, optimally solve
+/// the regularized convex program ℙ₂ built around the previous slot's
+/// decision. Theorem 2 gives the competitive ratio `1 + γ|I|` with
+///
+/// ```text
+/// γ = max_i { (C_i+ε₁)·ln(1+C_i/ε₁), (C_i+ε₂)·ln(1+C_i/ε₂) }.
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use edgealloc::prelude::*;
+///
+/// # fn main() -> Result<(), edgealloc::Error> {
+/// let inst = Instance::fig1_example(2.1, true);
+/// let mut alg = OnlineRegularized::with_defaults();
+/// let traj = run_online(&inst, &mut alg)?;
+/// let cost = evaluate_trajectory(&inst, &traj.allocations);
+/// assert!(cost.total() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineRegularized {
+    eps: Epsilons,
+    options: BarrierOptions,
+    warm_start: bool,
+    repair: bool,
+    capacity_mode: CapacityMode,
+    last_solution: Option<Vec<f64>>,
+    /// Duals of the most recent slot, exposed for the analysis tests.
+    last_duals: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl OnlineRegularized {
+    /// Creates the algorithm with explicit regularization parameters.
+    pub fn new(eps: Epsilons) -> Self {
+        OnlineRegularized {
+            eps,
+            options: BarrierOptions::default(),
+            warm_start: true,
+            repair: true,
+            capacity_mode: CapacityMode::Paper10b,
+            last_solution: None,
+            last_duals: None,
+        }
+    }
+
+    /// Default `ε₁ = ε₂ = 0.5` (see [`Epsilons::default`]).
+    pub fn with_defaults() -> Self {
+        Self::new(Epsilons::default())
+    }
+
+    /// Convenience constructor for the Figure-4 sweep: `ε₁ = ε₂ = ε`.
+    pub fn with_epsilon(eps: f64) -> Self {
+        Self::new(Epsilons {
+            eps1: eps,
+            eps2: eps,
+        })
+    }
+
+    /// Disables warm-starting each ℙ₂ from the previous slot's solution
+    /// (ablation knob; results are identical, only solve time changes).
+    pub fn without_warm_start(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+
+    /// Disables the capacity-repair projection (see [`repair_capacity`]) —
+    /// exposes the raw ℙ₂ solutions, which on tightly-capacitated
+    /// instances can exceed capacity (the Theorem-1 erratum).
+    pub fn without_repair(mut self) -> Self {
+        self.repair = false;
+        self
+    }
+
+    /// Switches ℙ₂ to explicit per-cloud capacity rows instead of the
+    /// paper's constraint (10b) — the deployment-grade variant that makes
+    /// the repair projection unnecessary (ablation knob; see
+    /// [`CapacityMode`]).
+    pub fn with_explicit_capacity(mut self) -> Self {
+        self.capacity_mode = CapacityMode::Explicit;
+        self
+    }
+
+    /// Overrides the barrier-solver options.
+    pub fn with_solver_options(mut self, options: BarrierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The regularization parameters in use.
+    pub fn epsilons(&self) -> Epsilons {
+        self.eps
+    }
+
+    /// Duals `(θ', ρ')` of the most recent slot's ℙ₂ (for analysis tests).
+    pub fn last_duals(&self) -> Option<&(Vec<f64>, Vec<f64>)> {
+        self.last_duals.as_ref()
+    }
+
+    /// Theorem 2's parameter `γ` for a given system.
+    pub fn gamma(&self, system: &crate::system::EdgeCloudSystem) -> f64 {
+        let mut g = 0.0f64;
+        for i in 0..system.num_clouds() {
+            let c = system.capacity(i);
+            g = g.max((c + self.eps.eps1) * (1.0 + c / self.eps.eps1).ln());
+            g = g.max((c + self.eps.eps2) * (1.0 + c / self.eps.eps2).ln());
+        }
+        g
+    }
+
+    /// Theorem 2's competitive ratio `r = 1 + γ|I|`.
+    pub fn theoretical_ratio(&self, system: &crate::system::EdgeCloudSystem) -> f64 {
+        1.0 + self.gamma(system) * system.num_clouds() as f64
+    }
+}
+
+impl OnlineAlgorithm for OnlineRegularized {
+    fn name(&self) -> &str {
+        "online-approx"
+    }
+
+    fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation> {
+        let start = if self.warm_start {
+            self.last_solution.as_deref()
+        } else {
+            None
+        };
+        let sol = p2::solve_with_mode(input, prev, self.eps, start, &self.options, self.capacity_mode)?;
+        self.last_solution = Some(sol.allocation.as_flat().to_vec());
+        self.last_duals = Some((sol.theta, sol.rho));
+        let mut allocation = sol.allocation;
+        if self.repair {
+            repair_capacity(input, &mut allocation)?;
+        }
+        Ok(allocation)
+    }
+
+    fn reset(&mut self) {
+        self.last_solution = None;
+        self.last_duals = None;
+    }
+}
+
+/// Restores per-cloud capacity feasibility of a ℙ₂ solution, preserving
+/// demand coverage.
+///
+/// **Why this exists (erratum, see DESIGN.md):** Theorem 1 of the paper
+/// argues that the ℙ₂ optimum never exceeds capacity by monotonicity of the
+/// objective — but reducing an over-capacity cloud can violate constraint
+/// (10b) of *other* clouds, and on tightly-capacitated instances
+/// (`C_i < λ_j` for some clouds) the true ℙ₂ optimum does allocate
+/// `x_{i,t} = C_i + δ` with several (10b) rows binding. This projection
+/// scales over-capacity clouds down to `C_i` and refills any resulting
+/// per-user demand deficit at the cheapest clouds with remaining slack
+/// (which exist because `ΣC_i ≥ Σλ_j`).
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Invalid`] if total capacity cannot absorb the
+/// demand (impossible for validated instances).
+pub fn repair_capacity(input: &SlotInput<'_>, x: &mut Allocation) -> Result<()> {
+    let num_clouds = input.num_clouds();
+    let num_users = input.num_users();
+    // Trim per-user surpluses: ℙ₀ only requires Σ_i x_ij ≥ λ_j, and any
+    // surplus pays operation and quality cost every slot, so scale each
+    // over-served user down to exactly λ_j.
+    for j in 0..num_users {
+        let total = x.user_total(j);
+        let lambda = input.workloads[j];
+        if total > lambda {
+            let factor = lambda / total;
+            for i in 0..num_clouds {
+                x.set(i, j, x.get(i, j) * factor);
+            }
+        }
+    }
+    // Scale down over-capacity clouds.
+    for i in 0..num_clouds {
+        let total = x.cloud_total(i);
+        let cap = input.system.capacity(i);
+        if total > cap {
+            let factor = cap / total;
+            for j in 0..num_users {
+                x.set(i, j, x.get(i, j) * factor);
+            }
+        }
+    }
+    // Refill per-user deficits at the cheapest clouds with slack.
+    let mut slack: Vec<f64> = (0..num_clouds)
+        .map(|i| (input.system.capacity(i) - x.cloud_total(i)).max(0.0))
+        .collect();
+    for j in 0..num_users {
+        let mut deficit = input.workloads[j] - x.user_total(j);
+        if deficit <= 1e-12 {
+            continue;
+        }
+        let l = input.attachment[j];
+        let mut order: Vec<usize> = (0..num_clouds).collect();
+        let unit_cost = |i: usize| {
+            input.weights.operation * input.operation_prices[i]
+                + input.weights.quality * input.system.delay(l, i) / input.workloads[j]
+        };
+        order.sort_by(|&a, &b| {
+            unit_cost(a)
+                .partial_cmp(&unit_cost(b))
+                .expect("finite costs")
+        });
+        for i in order {
+            if deficit <= 1e-12 {
+                break;
+            }
+            let take = deficit.min(slack[i]);
+            if take > 0.0 {
+                x.set(i, j, x.get(i, j) + take);
+                slack[i] -= take;
+                deficit -= take;
+            }
+        }
+        if deficit > 1e-9 {
+            return Err(crate::Error::Invalid(format!(
+                "capacity repair failed: user {j} left with deficit {deficit}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::run_online;
+    use crate::cost::evaluate_trajectory;
+    use crate::instance::Instance;
+
+    #[test]
+    fn produces_feasible_trajectory() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        assert_eq!(traj.allocations.len(), 3);
+        for x in &traj.allocations {
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-5);
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn warm_start_does_not_change_result_materially() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut warm = OnlineRegularized::with_defaults();
+        let mut cold = OnlineRegularized::with_defaults().without_warm_start();
+        let a = run_online(&inst, &mut warm).unwrap();
+        let b = run_online(&inst, &mut cold).unwrap();
+        let ca = evaluate_trajectory(&inst, &a.allocations).total();
+        let cb = evaluate_trajectory(&inst, &b.allocations).total();
+        assert!((ca - cb).abs() / cb < 1e-3, "warm {ca} vs cold {cb}");
+    }
+
+    #[test]
+    fn gamma_monotone_decreasing_in_epsilon() {
+        let inst = Instance::fig1_example(2.1, true);
+        let small = OnlineRegularized::with_epsilon(0.01).gamma(inst.system());
+        let large = OnlineRegularized::with_epsilon(10.0).gamma(inst.system());
+        assert!(small > large, "γ(0.01)={small} vs γ(10)={large}");
+    }
+
+    #[test]
+    fn theoretical_ratio_exceeds_one() {
+        let inst = Instance::fig1_example(2.1, true);
+        let alg = OnlineRegularized::with_defaults();
+        assert!(alg.theoretical_ratio(inst.system()) > 1.0);
+    }
+
+    #[test]
+    fn explicit_capacity_variant_is_feasible_without_repair() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults()
+            .with_explicit_capacity()
+            .without_repair();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        for x in &traj.allocations {
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-6);
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults();
+        let _ = run_online(&inst, &mut alg).unwrap();
+        assert!(alg.last_duals().is_some());
+        alg.reset();
+        assert!(alg.last_duals().is_none());
+    }
+}

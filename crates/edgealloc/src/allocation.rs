@@ -1,0 +1,167 @@
+//! Per-slot allocation matrices `x_{i,j}`.
+
+use serde::{Deserialize, Serialize};
+
+/// The resource allocation of one time slot: `x_{i,j}` units of cloud `i`'s
+/// resources serving user `j`'s workload.
+///
+/// # Example
+///
+/// ```
+/// use edgealloc::Allocation;
+///
+/// let mut x = Allocation::zeros(2, 3);
+/// x.set(1, 0, 4.0);
+/// assert_eq!(x.get(1, 0), 4.0);
+/// assert_eq!(x.cloud_total(1), 4.0);
+/// assert_eq!(x.user_total(0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    num_clouds: usize,
+    num_users: usize,
+    /// Row-major by cloud: entry `(i, j)` at `x[i * num_users + j]`.
+    x: Vec<f64>,
+}
+
+impl Allocation {
+    /// The all-zero allocation (`x_{i,j,0} ≜ 0` in the paper).
+    pub fn zeros(num_clouds: usize, num_users: usize) -> Self {
+        Allocation {
+            num_clouds,
+            num_users,
+            x: vec![0.0; num_clouds * num_users],
+        }
+    }
+
+    /// Builds from a flat row-major (cloud-major) vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_clouds * num_users`.
+    pub fn from_flat(num_clouds: usize, num_users: usize, x: Vec<f64>) -> Self {
+        assert_eq!(x.len(), num_clouds * num_users, "flat length mismatch");
+        Allocation {
+            num_clouds,
+            num_users,
+            x,
+        }
+    }
+
+    /// Number of clouds `I`.
+    pub fn num_clouds(&self) -> usize {
+        self.num_clouds
+    }
+
+    /// Number of users `J`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// `x_{i,j}`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.x[i * self.num_users + j]
+    }
+
+    /// Sets `x_{i,j}`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.x[i * self.num_users + j] = v;
+    }
+
+    /// The flat storage (cloud-major).
+    pub fn as_flat(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Total allocated in cloud `i`: `x_{i,t} = Σ_j x_{i,j,t}`.
+    pub fn cloud_total(&self, i: usize) -> f64 {
+        self.x[i * self.num_users..(i + 1) * self.num_users]
+            .iter()
+            .sum()
+    }
+
+    /// Total allocated to user `j`: `Σ_i x_{i,j,t}`.
+    pub fn user_total(&self, j: usize) -> f64 {
+        (0..self.num_clouds).map(|i| self.get(i, j)).sum()
+    }
+
+    /// Sum of all entries.
+    pub fn grand_total(&self) -> f64 {
+        self.x.iter().sum()
+    }
+
+    /// Clamps tiny negative values (solver round-off) to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a value is more negative than `-tol`.
+    pub fn clamp_nonnegative(&mut self, tol: f64) {
+        for v in &mut self.x {
+            debug_assert!(*v >= -tol, "allocation entry {v} below -{tol}");
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Maximum demand shortfall `max_j (λ_j − Σ_i x_{i,j})⁺`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != num_users`.
+    pub fn demand_shortfall(&self, workloads: &[f64]) -> f64 {
+        assert_eq!(workloads.len(), self.num_users, "workload length mismatch");
+        (0..self.num_users)
+            .map(|j| (workloads[j] - self.user_total(j)).max(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum capacity excess `max_i (Σ_j x_{i,j} − C_i)⁺`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != num_clouds`.
+    pub fn capacity_excess(&self, capacities: &[f64]) -> f64 {
+        assert_eq!(capacities.len(), self.num_clouds, "capacity length mismatch");
+        (0..self.num_clouds)
+            .map(|i| (self.cloud_total(i) - capacities[i]).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut a = Allocation::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        assert_eq!(a.cloud_total(0), 3.0);
+        assert_eq!(a.cloud_total(1), 3.0);
+        assert_eq!(a.user_total(0), 4.0);
+        assert_eq!(a.grand_total(), 6.0);
+    }
+
+    #[test]
+    fn feasibility_metrics() {
+        let mut a = Allocation::zeros(2, 1);
+        a.set(0, 0, 1.0);
+        a.set(1, 0, 1.0);
+        assert_eq!(a.demand_shortfall(&[3.0]), 1.0);
+        assert_eq!(a.demand_shortfall(&[2.0]), 0.0);
+        assert_eq!(a.capacity_excess(&[0.5, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn clamp_zeroes_small_negatives() {
+        let mut a = Allocation::from_flat(1, 2, vec![-1e-12, 5.0]);
+        a.clamp_nonnegative(1e-9);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 1), 5.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The four-part cost model of program ℙ₀ and its evaluation.
+
+use crate::allocation::Allocation;
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Weights of the four cost components in the total objective.
+///
+/// The paper omits weights in the formulation "for simplicity of expression
+/// but keeps them during evaluation"; Figure 4 sweeps the ratio `μ` between
+/// the dynamic (reconfiguration + migration) and static (operation +
+/// quality) weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight of the operation cost.
+    pub operation: f64,
+    /// Weight of the service-quality cost.
+    pub quality: f64,
+    /// Weight of the reconfiguration cost.
+    pub reconfig: f64,
+    /// Weight of the migration cost.
+    pub migration: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            operation: 1.0,
+            quality: 1.0,
+            reconfig: 1.0,
+            migration: 1.0,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Unit static weights with both dynamic weights set to `mu` — the
+    /// Figure-4 sweep parameter.
+    pub fn with_dynamic_ratio(mu: f64) -> Self {
+        CostWeights {
+            operation: 1.0,
+            quality: 1.0,
+            reconfig: mu,
+            migration: mu,
+        }
+    }
+}
+
+/// A cost tally split into the paper's four components (already weighted).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Weighted operation cost.
+    pub operation: f64,
+    /// Weighted service-quality cost.
+    pub quality: f64,
+    /// Weighted reconfiguration cost.
+    pub reconfig: f64,
+    /// Weighted migration cost.
+    pub migration: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost (the ℙ₀ objective).
+    pub fn total(&self) -> f64 {
+        self.operation + self.quality + self.reconfig + self.migration
+    }
+
+    /// The static part (operation + quality).
+    pub fn static_part(&self) -> f64 {
+        self.operation + self.quality
+    }
+
+    /// The dynamic part (reconfiguration + migration).
+    pub fn dynamic_part(&self) -> f64 {
+        self.reconfig + self.migration
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+    fn add(self, o: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            operation: self.operation + o.operation,
+            quality: self.quality + o.quality,
+            reconfig: self.reconfig + o.reconfig,
+            migration: self.migration + o.migration,
+        }
+    }
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, o: CostBreakdown) {
+        *self = *self + o;
+    }
+}
+
+/// The static (per-slot) cost of allocation `x` at slot `t`:
+/// weighted operation plus service quality, including the
+/// allocation-independent access-delay term `Σ_j d(j, l_{j,t})`.
+///
+/// # Panics
+///
+/// Panics if dimensions of `x` do not match the instance.
+pub fn slot_static_cost(inst: &Instance, t: usize, x: &Allocation) -> CostBreakdown {
+    let (num_clouds, num_users) = (inst.num_clouds(), inst.num_users());
+    assert_eq!(x.num_clouds(), num_clouds, "cloud count mismatch");
+    assert_eq!(x.num_users(), num_users, "user count mismatch");
+    let w = inst.weights();
+    let mut operation = 0.0;
+    let mut quality = 0.0;
+    for j in 0..num_users {
+        let l = inst.attached(j, t);
+        quality += inst.access_delay(j, t);
+        let lambda = inst.workload(j);
+        for i in 0..num_clouds {
+            let xij = x.get(i, j);
+            operation += inst.operation_price(i, t) * xij;
+            quality += xij / lambda * inst.system().delay(l, i);
+        }
+    }
+    CostBreakdown {
+        operation: w.operation * operation,
+        quality: w.quality * quality,
+        reconfig: 0.0,
+        migration: 0.0,
+    }
+}
+
+/// The dynamic (transition) cost between consecutive slots: weighted
+/// reconfiguration `Σ_i c_i (x_{i,t} − x_{i,t−1})⁺` plus bidirectional
+/// migration `Σ_i b_i^{out} z^{out}_{i,t} + b_i^{in} z^{in}_{i,t}` (Eq. 2,
+/// 4–5 of the paper).
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn transition_cost(inst: &Instance, prev: &Allocation, cur: &Allocation) -> CostBreakdown {
+    let (num_clouds, num_users) = (inst.num_clouds(), inst.num_users());
+    assert_eq!(prev.num_clouds(), num_clouds, "cloud count mismatch");
+    assert_eq!(cur.num_clouds(), num_clouds, "cloud count mismatch");
+    assert_eq!(prev.num_users(), num_users, "user count mismatch");
+    assert_eq!(cur.num_users(), num_users, "user count mismatch");
+    let w = inst.weights();
+    let mut reconfig = 0.0;
+    let mut migration = 0.0;
+    for i in 0..num_clouds {
+        let delta_aggregate = cur.cloud_total(i) - prev.cloud_total(i);
+        reconfig += inst.reconfig_price(i) * delta_aggregate.max(0.0);
+        let mut z_in = 0.0;
+        let mut z_out = 0.0;
+        for j in 0..num_users {
+            let d = cur.get(i, j) - prev.get(i, j);
+            if d > 0.0 {
+                z_in += d;
+            } else {
+                z_out -= d;
+            }
+        }
+        migration += inst.migration_out(i) * z_out + inst.migration_in(i) * z_in;
+    }
+    CostBreakdown {
+        operation: 0.0,
+        quality: 0.0,
+        reconfig: w.reconfig * reconfig,
+        migration: w.migration * migration,
+    }
+}
+
+/// Evaluates the full ℙ₀ objective of a trajectory: static costs of every
+/// slot plus dynamic costs of every transition (from the all-zero
+/// allocation at `t = 0`).
+///
+/// # Panics
+///
+/// Panics if `allocations.len() != inst.num_slots()` or any dimension
+/// mismatches.
+pub fn evaluate_trajectory(inst: &Instance, allocations: &[Allocation]) -> CostBreakdown {
+    assert_eq!(
+        allocations.len(),
+        inst.num_slots(),
+        "trajectory length must equal the number of slots"
+    );
+    let mut total = CostBreakdown::default();
+    let mut prev = Allocation::zeros(inst.num_clouds(), inst.num_users());
+    for (t, x) in allocations.iter().enumerate() {
+        total += slot_static_cost(inst, t, x);
+        total += transition_cost(inst, &prev, x);
+        prev = x.clone();
+    }
+    total
+}
+
+/// Per-slot cost series of a trajectory: element `t` holds the slot's
+/// static cost plus the dynamic cost of the transition *into* slot `t`
+/// (from the all-zero allocation for `t = 0`). Summing the series yields
+/// [`evaluate_trajectory`].
+///
+/// # Panics
+///
+/// Panics on trajectory/instance dimension mismatches.
+pub fn trajectory_timeline(inst: &Instance, allocations: &[Allocation]) -> Vec<CostBreakdown> {
+    assert_eq!(
+        allocations.len(),
+        inst.num_slots(),
+        "trajectory length must equal the number of slots"
+    );
+    let mut out = Vec::with_capacity(allocations.len());
+    let mut prev = Allocation::zeros(inst.num_clouds(), inst.num_users());
+    for (t, x) in allocations.iter().enumerate() {
+        out.push(slot_static_cost(inst, t, x) + transition_cost(inst, &prev, x));
+        prev = x.clone();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    /// 2 clouds, 1 user, 3 slots — Figure 1(a) of the paper.
+    fn fig1a() -> Instance {
+        Instance::fig1_example(2.1, true)
+    }
+
+    #[test]
+    fn weights_scale_components() {
+        let inst = fig1a();
+        let mut x = Allocation::zeros(2, 1);
+        x.set(0, 0, 1.0);
+        let c = slot_static_cost(&inst, 0, &x);
+        assert!(c.reconfig == 0.0 && c.migration == 0.0);
+        assert!(c.operation > 0.0);
+    }
+
+    #[test]
+    fn transition_cost_zero_for_identical() {
+        let inst = fig1a();
+        let mut x = Allocation::zeros(2, 1);
+        x.set(0, 0, 1.0);
+        let c = transition_cost(&inst, &x, &x);
+        assert_eq!(c.total(), 0.0);
+    }
+
+    #[test]
+    fn migration_counts_both_ends() {
+        let inst = fig1a(); // b_out = b_in = 0.5, c_i = 1 in the example
+        let mut a = Allocation::zeros(2, 1);
+        a.set(0, 0, 1.0);
+        let mut b = Allocation::zeros(2, 1);
+        b.set(1, 0, 1.0);
+        let c = transition_cost(&inst, &a, &b);
+        // Move 1 unit: z_out(0)=1, z_in(1)=1 → 0.5 + 0.5 = 1 migration;
+        // reconfig at cloud 1 for +1 unit → 1.
+        assert!((c.migration - 1.0).abs() < 1e-12, "migration {}", c.migration);
+        assert!((c.reconfig - 1.0).abs() < 1e-12, "reconfig {}", c.reconfig);
+    }
+
+    #[test]
+    fn timeline_sums_to_total() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut a = Allocation::zeros(2, 1);
+        a.set(0, 0, 1.0);
+        let mut b = Allocation::zeros(2, 1);
+        b.set(1, 0, 1.0);
+        let traj = vec![a.clone(), b, a];
+        let timeline = trajectory_timeline(&inst, &traj);
+        assert_eq!(timeline.len(), 3);
+        let summed: CostBreakdown = timeline.into_iter().fold(CostBreakdown::default(), |x, y| x + y);
+        let total = evaluate_trajectory(&inst, &traj);
+        assert!((summed.total() - total.total()).abs() < 1e-12);
+        assert!((summed.migration - total.migration).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = CostBreakdown {
+            operation: 1.0,
+            quality: 2.0,
+            reconfig: 3.0,
+            migration: 4.0,
+        };
+        let b = a + a;
+        assert_eq!(b.total(), 20.0);
+        assert_eq!(b.static_part(), 6.0);
+        assert_eq!(b.dynamic_part(), 14.0);
+    }
+}

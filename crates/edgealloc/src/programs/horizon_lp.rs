@@ -1,0 +1,203 @@
+//! The offline full-horizon LP for ℙ₀.
+//!
+//! With complete knowledge of prices and mobility, ℙ₀ is a linear program
+//! after linearizing the `(·)⁺` terms. We use a telescoped reformulation
+//! that halves the number of migration variables: with
+//! `y_{ijt} ≥ (x_{ijt} − x_{ij,t−1})` and `y ≥ 0` (so `y = z^{in}` at the
+//! optimum), the bidirectional migration cost satisfies
+//!
+//! ```text
+//! Σ_t b^{out}(x_{t−1}−x_t)⁺ + b^{in}(x_t−x_{t−1})⁺
+//!   = Σ_t (b^{out}+b^{in})·y_t − b^{out}·Σ_t (x_t − x_{t−1})
+//!   = Σ_t b_i·y_t − b^{out}·x_{i,j,T}                      (x_{i,j,0} = 0)
+//! ```
+//!
+//! so only the final slot's `x` carries the `−b^{out}` correction.
+
+use crate::allocation::Allocation;
+use crate::instance::Instance;
+use crate::Result;
+use optim::lp::{ConstraintSense, IpmOptions, LpProblem};
+
+/// Index helpers for the horizon LP's variable blocks.
+struct Layout {
+    num_clouds: usize,
+    num_users: usize,
+    num_slots: usize,
+}
+
+impl Layout {
+    fn x(&self, i: usize, j: usize, t: usize) -> usize {
+        (t * self.num_clouds + i) * self.num_users + j
+    }
+    fn y(&self, i: usize, j: usize, t: usize) -> usize {
+        self.num_slots * self.num_clouds * self.num_users + self.x(i, j, t)
+    }
+    fn u(&self, i: usize, t: usize) -> usize {
+        2 * self.num_slots * self.num_clouds * self.num_users + t * self.num_clouds + i
+    }
+    fn num_vars(&self) -> usize {
+        2 * self.num_slots * self.num_clouds * self.num_users
+            + self.num_slots * self.num_clouds
+    }
+}
+
+/// Builds the full-horizon ℙ₀ LP for an instance.
+pub fn build(inst: &Instance) -> LpProblem {
+    let lay = Layout {
+        num_clouds: inst.num_clouds(),
+        num_users: inst.num_users(),
+        num_slots: inst.num_slots(),
+    };
+    let w = inst.weights();
+    let mut lp = LpProblem::new();
+    lp.add_vars(lay.num_vars(), 0.0);
+
+    // Objective.
+    for t in 0..lay.num_slots {
+        for i in 0..lay.num_clouds {
+            let b_out = w.migration * inst.migration_out(i);
+            let b_total = w.migration * inst.migration_total(i);
+            for j in 0..lay.num_users {
+                let l = inst.attached(j, t);
+                let mut cx = w.operation * inst.operation_price(i, t)
+                    + w.quality * inst.system().delay(l, i) / inst.workload(j);
+                if t + 1 == lay.num_slots {
+                    cx -= b_out; // telescoped migration correction
+                }
+                lp.set_cost(lay.x(i, j, t), cx);
+                lp.set_cost(lay.y(i, j, t), b_total);
+            }
+            lp.set_cost(lay.u(i, t), w.reconfig * inst.reconfig_price(i));
+        }
+    }
+
+    // Demand and capacity rows, per slot.
+    for t in 0..lay.num_slots {
+        for j in 0..lay.num_users {
+            let terms: Vec<(usize, f64)> = (0..lay.num_clouds)
+                .map(|i| (lay.x(i, j, t), 1.0))
+                .collect();
+            lp.add_row(ConstraintSense::Ge, inst.workload(j), &terms);
+        }
+        for i in 0..lay.num_clouds {
+            let terms: Vec<(usize, f64)> = (0..lay.num_users)
+                .map(|j| (lay.x(i, j, t), 1.0))
+                .collect();
+            lp.add_row(ConstraintSense::Le, inst.system().capacity(i), &terms);
+        }
+    }
+
+    // Linking rows: u_{i,t} ≥ Σ_j x_{ijt} − Σ_j x_{ij,t−1};
+    //               y_{ijt} ≥ x_{ijt} − x_{ij,t−1}   (x at t = −1 is 0).
+    for t in 0..lay.num_slots {
+        for i in 0..lay.num_clouds {
+            let mut terms: Vec<(usize, f64)> = vec![(lay.u(i, t), 1.0)];
+            for j in 0..lay.num_users {
+                terms.push((lay.x(i, j, t), -1.0));
+                if t > 0 {
+                    terms.push((lay.x(i, j, t - 1), 1.0));
+                }
+            }
+            lp.add_row(ConstraintSense::Ge, 0.0, &terms);
+            for j in 0..lay.num_users {
+                let mut terms = vec![(lay.y(i, j, t), 1.0), (lay.x(i, j, t), -1.0)];
+                if t > 0 {
+                    terms.push((lay.x(i, j, t - 1), 1.0));
+                }
+                lp.add_row(ConstraintSense::Ge, 0.0, &terms);
+            }
+        }
+    }
+    lp
+}
+
+/// Solves the horizon LP and extracts one [`Allocation`] per slot.
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+pub fn solve(inst: &Instance, opts: &IpmOptions) -> Result<Vec<Allocation>> {
+    let lp = build(inst);
+    let sol = lp.solve_with(opts)?;
+    let lay = Layout {
+        num_clouds: inst.num_clouds(),
+        num_users: inst.num_users(),
+        num_slots: inst.num_slots(),
+    };
+    let mut out = Vec::with_capacity(lay.num_slots);
+    for t in 0..lay.num_slots {
+        let mut x = Allocation::zeros(lay.num_clouds, lay.num_users);
+        for i in 0..lay.num_clouds {
+            for j in 0..lay.num_users {
+                x.set(i, j, sol.x[lay.x(i, j, t)].max(0.0));
+            }
+        }
+        out.push(x);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::evaluate_trajectory;
+    use crate::instance::Instance;
+
+    #[test]
+    fn horizon_lp_shape() {
+        let inst = Instance::fig1_example(2.1, true);
+        let lp = build(&inst);
+        // vars: x (2·1·3=6) + y (6) + u (2·3=6) = 18.
+        assert_eq!(lp.num_vars(), 18);
+        // rows: demand 3 + capacity 6 + u-rows 6 + y-rows 6 = 21.
+        assert_eq!(lp.num_rows(), 21);
+    }
+
+    #[test]
+    fn offline_on_fig1a_keeps_workload_at_a() {
+        // Figure 1(a): the optimal solution keeps the workload at cloud A.
+        let inst = Instance::fig1_example(2.1, true);
+        let xs = solve(&inst, &IpmOptions::default()).unwrap();
+        for t in 0..3 {
+            assert!(xs[t].get(0, 0) > 0.99, "slot {t}: {:?}", xs[t]);
+        }
+    }
+
+    #[test]
+    fn offline_on_fig1b_serves_from_b_throughout() {
+        // Figure 1(b): knowing the user heads to B and stays, the true
+        // optimum allocates at B from the start (the paper's narrative
+        // optimum migrates at t=1 and costs 0.1 more; see DESIGN.md).
+        let inst = Instance::fig1_example(1.9, false);
+        let xs = solve(&inst, &IpmOptions::default()).unwrap();
+        for t in 0..3 {
+            assert!(xs[t].get(1, 0) > 0.99, "slot {t}: {:?}", xs[t]);
+        }
+    }
+
+    #[test]
+    fn lp_objective_matches_cost_model() {
+        // The LP objective (plus the constant access-delay cost) must agree
+        // with the independent trajectory evaluator — this validates the
+        // telescoped migration reformulation.
+        let inst = Instance::fig1_example(2.1, true);
+        let lp = build(&inst);
+        let sol = lp.solve().unwrap();
+        let xs = solve(&inst, &IpmOptions::default()).unwrap();
+        let cost = evaluate_trajectory(&inst, &xs);
+        let access_constant: f64 = (0..inst.num_slots())
+            .map(|t| {
+                (0..inst.num_users())
+                    .map(|j| inst.weights().quality * inst.access_delay(j, t))
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(
+            (sol.objective + access_constant - cost.total()).abs() < 1e-5,
+            "lp {} + const {access_constant} vs evaluated {}",
+            sol.objective,
+            cost.total()
+        );
+    }
+}

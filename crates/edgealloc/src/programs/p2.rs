@@ -1,0 +1,396 @@
+//! The regularized per-slot convex program ℙ₂ (§III-B of the paper).
+//!
+//! At slot `t`, taking the previous decision `x*_{t−1}` as input:
+//!
+//! ```text
+//! min  Σ_ij ã_{i,t} x_ij + Σ_j ( d(j,l_jt) + Σ_i (w_q·d(l_jt,i)/λ_j) x_ij )
+//!    + Σ_i (c̃_i/η_i) ( (x_i+ε₁) ln((x_i+ε₁)/(x*_{i,t−1}+ε₁)) − x_i )
+//!    + Σ_ij (b̃_i/τ_ij) ( (x_ij+ε₂) ln((x_ij+ε₂)/(x*_{ij,t−1}+ε₂)) − x_ij )
+//! s.t. Σ_i x_ij ≥ λ_j          ∀j                  (10a)
+//!      Σ_{k≠i} Σ_j x_kj ≥ Σ_j λ_j − C_i  ∀i        (10b)
+//!      x ≥ 0                                        (10c)
+//! ```
+//!
+//! with `η_i = ln(1 + C_i/ε₁)`, `τ_ij = ln(1 + λ_j/ε₂)` and
+//! weight-scaled prices `ã, c̃, b̃` (see [`super::ScaledPrices`]).
+//! The objective is convex separable plus per-cloud aggregate terms, solved
+//! by [`optim::convex::BarrierSolver`].
+
+use crate::algorithms::SlotInput;
+use crate::allocation::Allocation;
+use crate::{Error, Result};
+use optim::convex::{BarrierOptions, BarrierSolver, ScalarTerm, SeparableObjective};
+use optim::sparse::Triplets;
+
+/// How ℙ₂ encodes the capacity limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapacityMode {
+    /// The paper's constraint (10b): `Σ_{k≠i} Σ_j x_kj ≥ Σλ − C_i`. Used by
+    /// the competitive analysis, but does **not** imply `x_i ≤ C_i` when
+    /// the optimum over-allocates (see DESIGN.md erratum 1).
+    #[default]
+    Paper10b,
+    /// Explicit per-cloud rows `Σ_j x_ij ≤ C_i` (which imply (10b) whenever
+    /// demand is met). Guarantees capacity feasibility outright — what a
+    /// practitioner would deploy; the ρ duals then belong to the capacity
+    /// rows instead of (10b).
+    Explicit,
+}
+
+/// Regularization parameters `ε₁` (aggregate/reconfiguration term) and
+/// `ε₂` (per-user/migration term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Epsilons {
+    /// `ε₁ > 0`.
+    pub eps1: f64,
+    /// `ε₂ > 0`.
+    pub eps2: f64,
+}
+
+impl Default for Epsilons {
+    fn default() -> Self {
+        // Figure 4 shows a shallow optimum of the empirical ratio for
+        // ε around 10⁻¹…10⁰; 0.5 is a robust default.
+        Epsilons {
+            eps1: 0.5,
+            eps2: 0.5,
+        }
+    }
+}
+
+/// The solved per-slot program: the allocation plus the KKT multipliers the
+/// competitive analysis needs (`θ'_{j,t}` for the demand rows (10a) and
+/// `ρ'_{i,t}` for the rows (10b)).
+#[derive(Debug, Clone)]
+pub struct P2Solution {
+    /// The slot's allocation `x*_{·,·,t}`.
+    pub allocation: Allocation,
+    /// Demand-row duals `θ'_{j,t} ≥ 0`.
+    pub theta: Vec<f64>,
+    /// (10b)-row duals `ρ'_{i,t} ≥ 0`.
+    pub rho: Vec<f64>,
+    /// Optimal objective value of ℙ₂ (excluding the constant access-delay
+    /// term `Σ_j d(j, l_{j,t})`).
+    pub objective: f64,
+}
+
+/// Builds the ℙ₂ [`BarrierSolver`] for one slot. Variables are indexed
+/// `k = i·J + j`, matching [`Allocation::as_flat`].
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] for non-positive epsilons.
+pub fn build(input: &SlotInput<'_>, prev: &Allocation, eps: Epsilons) -> Result<BarrierSolver> {
+    build_with_mode(input, prev, eps, CapacityMode::Paper10b)
+}
+
+/// [`build`] with an explicit [`CapacityMode`].
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] for non-positive epsilons.
+pub fn build_with_mode(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    eps: Epsilons,
+    mode: CapacityMode,
+) -> Result<BarrierSolver> {
+    if !(eps.eps1 > 0.0) || !(eps.eps2 > 0.0) {
+        return Err(Error::Invalid("ε₁ and ε₂ must be positive".into()));
+    }
+    let num_clouds = input.num_clouds();
+    let num_users = input.num_users();
+    let n = num_clouds * num_users;
+    let w = input.weights;
+    let total_workload: f64 = input.workloads.iter().sum();
+
+    let mut f = SeparableObjective::new(n);
+    for i in 0..num_clouds {
+        let cap = input.system.capacity(i);
+        let c_tilde = w.reconfig * input.reconfig_prices[i];
+        let b_tilde = w.migration * input.migration_total(i);
+        let eta = (1.0 + cap / eps.eps1).ln();
+        // Per-cloud aggregate regularizer (reconfiguration smoothing).
+        if c_tilde > 0.0 {
+            let members: Vec<usize> = (0..num_users).map(|j| i * num_users + j).collect();
+            f.add_group(
+                members,
+                ScalarTerm::RelativeEntropy {
+                    weight: c_tilde / eta,
+                    eps: eps.eps1,
+                    xref: prev.cloud_total(i),
+                },
+            );
+        }
+        for j in 0..num_users {
+            let k = i * num_users + j;
+            let lambda = input.workloads[j];
+            let l = input.attachment[j];
+            // Linear part: operation + service quality.
+            let lin = w.operation * input.operation_prices[i]
+                + w.quality * input.system.delay(l, i) / lambda;
+            f.add_term(k, ScalarTerm::Linear { coef: lin });
+            // Per-(i,j) regularizer (migration smoothing).
+            if b_tilde > 0.0 {
+                let tau = (1.0 + lambda / eps.eps2).ln();
+                f.add_term(
+                    k,
+                    ScalarTerm::RelativeEntropy {
+                        weight: b_tilde / tau,
+                        eps: eps.eps2,
+                        xref: prev.get(i, j),
+                    },
+                );
+            }
+        }
+    }
+
+    // Constraints: J demand rows then I rows of (10b).
+    let mut a = Triplets::with_capacity(
+        num_users + num_clouds,
+        n,
+        n + num_clouds * (num_clouds - 1) * num_users,
+    );
+    let mut b = Vec::with_capacity(num_users + num_clouds);
+    for j in 0..num_users {
+        for i in 0..num_clouds {
+            a.push(j, i * num_users + j, 1.0);
+        }
+        b.push(input.workloads[j]);
+    }
+    for i in 0..num_clouds {
+        match mode {
+            CapacityMode::Paper10b => {
+                for k in 0..num_clouds {
+                    if k == i {
+                        continue;
+                    }
+                    for j in 0..num_users {
+                        a.push(num_users + i, k * num_users + j, 1.0);
+                    }
+                }
+                b.push(total_workload - input.system.capacity(i));
+            }
+            CapacityMode::Explicit => {
+                // −Σ_j x_ij ≥ −C_i in the solver's `A x ≥ b` form.
+                for j in 0..num_users {
+                    a.push(num_users + i, i * num_users + j, -1.0);
+                }
+                b.push(-input.system.capacity(i));
+            }
+        }
+    }
+    BarrierSolver::new(f, a.to_csc(), b).map_err(Error::from)
+}
+
+/// A strictly feasible starting point: every user's demand spread across
+/// clouds proportionally to capacity, scaled by 1.001. Returns `None` when
+/// total capacity does not strictly exceed total workload (the barrier
+/// solver then falls back to its phase-I LP).
+pub fn proportional_start(input: &SlotInput<'_>) -> Option<Vec<f64>> {
+    let num_clouds = input.num_clouds();
+    let num_users = input.num_users();
+    let total_cap = input.system.total_capacity();
+    let total_workload: f64 = input.workloads.iter().sum();
+    if total_cap <= total_workload * 1.0015 {
+        return None;
+    }
+    let mut x = vec![0.0; num_clouds * num_users];
+    for i in 0..num_clouds {
+        let share = input.system.capacity(i) / total_cap;
+        for j in 0..num_users {
+            x[i * num_users + j] = 1.001 * input.workloads[j] * share;
+        }
+    }
+    Some(x)
+}
+
+/// Builds and optimally solves ℙ₂ for one slot.
+///
+/// `start` overrides the initial point (used for warm-starting from the
+/// previous slot's solution); when `None` a capacity-proportional interior
+/// point (or the solver's phase-I) is used.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn solve(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    eps: Epsilons,
+    start: Option<&[f64]>,
+    opts: &BarrierOptions,
+) -> Result<P2Solution> {
+    solve_with_mode(input, prev, eps, start, opts, CapacityMode::Paper10b)
+}
+
+/// [`solve`] with an explicit [`CapacityMode`].
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn solve_with_mode(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    eps: Epsilons,
+    start: Option<&[f64]>,
+    opts: &BarrierOptions,
+    mode: CapacityMode,
+) -> Result<P2Solution> {
+    let solver = build_with_mode(input, prev, eps, mode)?;
+    let proportional = proportional_start(input);
+    let chosen: Option<&[f64]> = start.or(proportional.as_deref());
+    let sol = match solver.solve(chosen, opts) {
+        Ok(s) => s,
+        // A supplied start can be (numerically) on the boundary; retry with
+        // phase-I rather than failing the whole horizon.
+        Err(optim::Error::BadStartingPoint(_)) => solver.solve(None, opts)?,
+        Err(e) => return Err(e.into()),
+    };
+    let num_users = input.num_users();
+    let allocation = Allocation::from_flat(input.num_clouds(), num_users, sol.x);
+    Ok(P2Solution {
+        theta: sol.row_duals[..num_users].to_vec(),
+        rho: sol.row_duals[num_users..].to_vec(),
+        objective: sol.objective,
+        allocation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::SlotInput;
+    use crate::instance::Instance;
+
+    fn fig1_slot(t: usize) -> (Instance, usize) {
+        (Instance::fig1_example(2.1, true), t)
+    }
+
+    #[test]
+    fn p2_solution_is_feasible_for_p1() {
+        let (inst, t) = fig1_slot(0);
+        let input = SlotInput::from_instance(&inst, t);
+        let prev = Allocation::zeros(2, 1);
+        let sol = solve(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
+        // Theorem 1: demand met and capacity respected.
+        assert!(sol.allocation.demand_shortfall(inst.workloads()) < 1e-5);
+        assert!(sol.allocation.capacity_excess(inst.system().capacities()) < 1e-5);
+    }
+
+    #[test]
+    fn p2_monotone_in_previous_solution() {
+        // Theorem 1's proof: x*_t ≥ would-decrease only; with prev already
+        // serving from cloud 0, the solution should not exceed capacity and
+        // the aggregate must stay within [0, C].
+        let (inst, _) = fig1_slot(1);
+        let input = SlotInput::from_instance(&inst, 1);
+        let mut prev = Allocation::zeros(2, 1);
+        prev.set(0, 0, 1.0);
+        let sol = solve(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
+        for i in 0..2 {
+            assert!(sol.allocation.cloud_total(i) <= inst.system().capacity(i) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn duals_are_nonnegative() {
+        let (inst, _) = fig1_slot(0);
+        let input = SlotInput::from_instance(&inst, 0);
+        let prev = Allocation::zeros(2, 1);
+        let sol = solve(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
+        assert!(sol.theta.iter().all(|&v| v >= 0.0));
+        assert!(sol.rho.iter().all(|&v| v >= 0.0));
+        assert_eq!(sol.theta.len(), 1);
+        assert_eq!(sol.rho.len(), 2);
+    }
+
+    #[test]
+    fn explicit_capacity_mode_respects_caps_exactly() {
+        let (inst, _) = fig1_slot(0);
+        let input = SlotInput::from_instance(&inst, 0);
+        let prev = Allocation::zeros(2, 1);
+        let sol = solve_with_mode(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+            CapacityMode::Explicit,
+        )
+        .unwrap();
+        assert!(sol.allocation.demand_shortfall(inst.workloads()) < 1e-5);
+        assert!(sol.allocation.capacity_excess(inst.system().capacities()) < 1e-7);
+    }
+
+    #[test]
+    fn rejects_nonpositive_epsilons() {
+        let (inst, _) = fig1_slot(0);
+        let input = SlotInput::from_instance(&inst, 0);
+        let prev = Allocation::zeros(2, 1);
+        assert!(build(&input, &prev, Epsilons { eps1: 0.0, eps2: 1.0 }).is_err());
+    }
+
+    #[test]
+    fn proportional_start_is_strictly_feasible() {
+        let (inst, _) = fig1_slot(0);
+        let input = SlotInput::from_instance(&inst, 0);
+        let start = proportional_start(&input).expect("capacity exceeds workload");
+        let prev = Allocation::zeros(2, 1);
+        let solver = build(&input, &prev, Epsilons::default()).unwrap();
+        // Solving from this start must not raise BadStartingPoint.
+        let sol = solver.solve(Some(&start), &BarrierOptions::default());
+        assert!(sol.is_ok(), "{sol:?}");
+    }
+
+    #[test]
+    fn entropy_pull_keeps_allocation_near_previous() {
+        // With huge migration prices, the solution should stay very close
+        // to the previous allocation (which is feasible here).
+        let inst = Instance::fig1_example(2.1, true);
+        let mut inst2 = inst.clone();
+        // Scale dynamic weights hard.
+        inst2 = inst2.with_weights(crate::cost::CostWeights {
+            reconfig: 100.0,
+            migration: 100.0,
+            ..Default::default()
+        });
+        let input = SlotInput::from_instance(&inst2, 1);
+        let mut prev = Allocation::zeros(2, 1);
+        prev.set(0, 0, 1.0);
+        let sol = solve(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            sol.allocation.get(0, 0) > 0.9,
+            "allocation should stick to cloud 0, got {:?}",
+            sol.allocation
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The relaxed linear program ℙ₃ (§IV-B of the paper).
+//!
+//! ℙ₃ linearizes ℙ₁'s `(·)⁺` terms with auxiliary variables `u_{i,t}`
+//! (aggregate reconfiguration) and `v_{i,j,t}` (one-directional migration),
+//! and relaxes the per-slot capacity rows to the (10b)-style form
+//! (13c): `Σ_{k≠i} Σ_j x_{k,j,t} ≥ (Σ_j λ_j − C_i)⁺`.
+//!
+//! Its optimal value sits between the dual objective `D` and the ℙ₁
+//! objective of any feasible trajectory — the middle link of the
+//! competitive-analysis chain `P₁ ≥ P₃ ≥ D ≥ P₂/r` — and this module
+//! exists so that chain can be verified **numerically** (`tests/theory.rs`).
+
+use crate::instance::Instance;
+use crate::Result;
+use optim::lp::{ConstraintSense, IpmOptions, LpProblem};
+
+struct Layout {
+    num_clouds: usize,
+    num_users: usize,
+    num_slots: usize,
+}
+
+impl Layout {
+    fn x(&self, i: usize, j: usize, t: usize) -> usize {
+        (t * self.num_clouds + i) * self.num_users + j
+    }
+    fn v(&self, i: usize, j: usize, t: usize) -> usize {
+        self.num_slots * self.num_clouds * self.num_users + self.x(i, j, t)
+    }
+    fn u(&self, i: usize, t: usize) -> usize {
+        2 * self.num_slots * self.num_clouds * self.num_users + t * self.num_clouds + i
+    }
+    fn num_vars(&self) -> usize {
+        2 * self.num_slots * self.num_clouds * self.num_users + self.num_slots * self.num_clouds
+    }
+}
+
+/// Builds ℙ₃ for an instance (weight-scaled prices, as everywhere).
+pub fn build(inst: &Instance) -> LpProblem {
+    let lay = Layout {
+        num_clouds: inst.num_clouds(),
+        num_users: inst.num_users(),
+        num_slots: inst.num_slots(),
+    };
+    let w = inst.weights();
+    let total_workload = inst.total_workload();
+    let mut lp = LpProblem::new();
+    lp.add_vars(lay.num_vars(), 0.0);
+
+    for t in 0..lay.num_slots {
+        for i in 0..lay.num_clouds {
+            let b_tilde = w.migration * inst.migration_total(i);
+            for j in 0..lay.num_users {
+                let l = inst.attached(j, t);
+                lp.set_cost(
+                    lay.x(i, j, t),
+                    w.operation * inst.operation_price(i, t)
+                        + w.quality * inst.system().delay(l, i) / inst.workload(j),
+                );
+                lp.set_cost(lay.v(i, j, t), b_tilde);
+            }
+            lp.set_cost(lay.u(i, t), w.reconfig * inst.reconfig_price(i));
+        }
+    }
+
+    for t in 0..lay.num_slots {
+        // (6a) demand.
+        for j in 0..lay.num_users {
+            let terms: Vec<(usize, f64)> = (0..lay.num_clouds)
+                .map(|i| (lay.x(i, j, t), 1.0))
+                .collect();
+            lp.add_row(ConstraintSense::Ge, inst.workload(j), &terms);
+        }
+        // (13c): Σ_{k≠i} Σ_j x ≥ (Σλ − C_i)⁺.
+        for i in 0..lay.num_clouds {
+            let mut terms = Vec::with_capacity((lay.num_clouds - 1) * lay.num_users);
+            for k in 0..lay.num_clouds {
+                if k == i {
+                    continue;
+                }
+                for j in 0..lay.num_users {
+                    terms.push((lay.x(k, j, t), 1.0));
+                }
+            }
+            let rhs = (total_workload - inst.system().capacity(i)).max(0.0);
+            lp.add_row(ConstraintSense::Ge, rhs, &terms);
+        }
+        // (13a): u_{i,t} ≥ Σ_j x_{ijt} − Σ_j x_{ij,t−1}.
+        for i in 0..lay.num_clouds {
+            let mut terms: Vec<(usize, f64)> = vec![(lay.u(i, t), 1.0)];
+            for j in 0..lay.num_users {
+                terms.push((lay.x(i, j, t), -1.0));
+                if t > 0 {
+                    terms.push((lay.x(i, j, t - 1), 1.0));
+                }
+            }
+            lp.add_row(ConstraintSense::Ge, 0.0, &terms);
+            // (13b): v_{ijt} ≥ x_{ijt} − x_{ij,t−1}.
+            for j in 0..lay.num_users {
+                let mut terms = vec![(lay.v(i, j, t), 1.0), (lay.x(i, j, t), -1.0)];
+                if t > 0 {
+                    terms.push((lay.x(i, j, t - 1), 1.0));
+                }
+                lp.add_row(ConstraintSense::Ge, 0.0, &terms);
+            }
+        }
+    }
+    lp
+}
+
+/// Optimal value of ℙ₃ (excluding the constant access-delay cost, like the
+/// ℙ₂/ℙ₁ objectives used in the analysis).
+///
+/// # Errors
+///
+/// Propagates LP solver failures.
+pub fn optimal_value(inst: &Instance, opts: &IpmOptions) -> Result<f64> {
+    let lp = build(inst);
+    let sol = lp.solve_with(opts)?;
+    Ok(sol.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::p1_objective;
+
+    #[test]
+    fn p3_shape_matches_formulation() {
+        let inst = Instance::fig1_example(2.1, true);
+        let lp = build(&inst);
+        // vars: x (6) + v (6) + u (6); rows per slot: 1 demand + 2 (13c)
+        // + 2 u-rows + 2 v-rows = 7 → 21.
+        assert_eq!(lp.num_vars(), 18);
+        assert_eq!(lp.num_rows(), 21);
+    }
+
+    #[test]
+    fn p3_lower_bounds_p1_of_any_trajectory() {
+        // P₃ relaxes ℙ₁, so its optimum is ≤ the ℙ₁ objective of any
+        // feasible trajectory (here: the regularized algorithm's).
+        let inst = Instance::fig1_example(2.1, true);
+        let p3 = optimal_value(&inst, &IpmOptions::default()).unwrap();
+        let traj = crate::algorithms::run_online(
+            &inst,
+            &mut crate::algorithms::OnlineRegularized::with_defaults(),
+        )
+        .unwrap();
+        let access_constant: f64 = (0..inst.num_slots())
+            .map(|t| {
+                (0..inst.num_users())
+                    .map(|j| inst.weights().quality * inst.access_delay(j, t))
+                    .sum::<f64>()
+            })
+            .sum();
+        let p1 = p1_objective(&inst, &traj.allocations) - access_constant;
+        assert!(p3 <= p1 + 1e-6, "P3 {p3} > P1 {p1}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Empirical competitive ratios.
+
+/// The empirical competitive ratio: an algorithm's total cost normalized by
+/// the offline optimum. The paper reports ≈1.1 for the regularized online
+/// algorithm and up to ≈1.8 for online-greedy.
+///
+/// # Panics
+///
+/// Panics if `offline_total` is not strictly positive or either value is
+/// non-finite.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(edgealloc::ratio::competitive_ratio(11.5, 9.6), 11.5 / 9.6);
+/// ```
+pub fn competitive_ratio(algorithm_total: f64, offline_total: f64) -> f64 {
+    assert!(
+        offline_total > 0.0 && offline_total.is_finite(),
+        "offline total must be positive and finite"
+    );
+    assert!(
+        algorithm_total.is_finite(),
+        "algorithm total must be finite"
+    );
+    algorithm_total / offline_total
+}
+
+/// Mean and (population) standard deviation of a set of ratios, as plotted
+/// in Figures 2–5 (mean ± sd over repetitions).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean_sd(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "need at least one value");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_equal_costs_is_one() {
+        assert_eq!(competitive_ratio(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_offline_panics() {
+        competitive_ratio(1.0, 0.0);
+    }
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_sd(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(s, 0.0);
+        let (m, s) = mean_sd(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Discrete VM rounding.
+//!
+//! §II-C of the paper: "we assume that virtual machines are the smallest
+//! resource segment in the edge clouds". The optimization itself is
+//! continuous (as in the paper's evaluation); this module provides the
+//! deployment step that converts a fractional allocation into integral VM
+//! counts — largest-remainder rounding per user under per-cloud VM
+//! capacities.
+
+use crate::algorithms::SlotInput;
+use crate::allocation::Allocation;
+use crate::{Error, Result};
+
+/// An integral allocation: `vms[i][j]` virtual machines of size `vm_size`
+/// serving user `j` at cloud `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmAllocation {
+    /// VM counts, cloud-major.
+    pub vms: Vec<Vec<u32>>,
+}
+
+impl VmAllocation {
+    /// The equivalent fractional allocation (`count · vm_size`).
+    pub fn to_allocation(&self, vm_size: f64) -> Allocation {
+        let num_clouds = self.vms.len();
+        let num_users = self.vms.first().map_or(0, Vec::len);
+        let mut x = Allocation::zeros(num_clouds, num_users);
+        for (i, row) in self.vms.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                x.set(i, j, f64::from(c) * vm_size);
+            }
+        }
+        x
+    }
+
+    /// Total VM count.
+    pub fn total_vms(&self) -> u64 {
+        self.vms
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&c| u64::from(c))
+            .sum()
+    }
+}
+
+/// Rounds a fractional allocation to whole VMs of `vm_size` resource units:
+/// each user receives `⌈λ_j / vm_size⌉` VMs placed as close to the
+/// fractional solution as possible (floor + largest remainder), subject to
+/// per-cloud capacities `⌊C_i / vm_size⌋`.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] if `vm_size` is not positive or the total VM
+/// capacity cannot host every user's VM count (a discretization artifact
+/// possible even when `ΣC ≥ Σλ`).
+pub fn round_to_vms(
+    input: &SlotInput<'_>,
+    x: &Allocation,
+    vm_size: f64,
+) -> Result<VmAllocation> {
+    if !(vm_size > 0.0) || !vm_size.is_finite() {
+        return Err(Error::Invalid("vm_size must be positive".into()));
+    }
+    let num_clouds = input.num_clouds();
+    let num_users = input.num_users();
+    let cap_vms: Vec<u32> = (0..num_clouds)
+        .map(|i| (input.system.capacity(i) / vm_size).floor() as u32)
+        .collect();
+    let needed: u64 = (0..num_users)
+        .map(|j| (input.workloads[j] / vm_size).ceil() as u64)
+        .sum();
+    let available: u64 = cap_vms.iter().map(|&c| u64::from(c)).sum();
+    if needed > available {
+        return Err(Error::Invalid(format!(
+            "{needed} VMs needed but only {available} fit into the capacities at vm_size {vm_size}"
+        )));
+    }
+
+    let mut vms = vec![vec![0u32; num_users]; num_clouds];
+    let mut used = vec![0u32; num_clouds];
+    // Floor pass.
+    for j in 0..num_users {
+        for (i, used_i) in used.iter_mut().enumerate() {
+            let f = (x.get(i, j) / vm_size).floor() as u32;
+            let granted = f.min(cap_vms[i].saturating_sub(*used_i));
+            vms[i][j] = granted;
+            *used_i += granted;
+        }
+    }
+    // Largest-remainder pass, per user.
+    for j in 0..num_users {
+        let target = (input.workloads[j] / vm_size).ceil() as u32;
+        let mut have: u32 = (0..num_clouds).map(|i| vms[i][j]).sum();
+        if have >= target {
+            continue;
+        }
+        let mut order: Vec<usize> = (0..num_clouds).collect();
+        let remainder = |i: usize| {
+            let s = x.get(i, j) / vm_size;
+            s - s.floor()
+        };
+        order.sort_by(|&a, &b| {
+            remainder(b)
+                .partial_cmp(&remainder(a))
+                .expect("finite remainders")
+        });
+        // First by largest remainder, then any cloud with slack.
+        for pass in 0..2 {
+            for &i in &order {
+                if have >= target {
+                    break;
+                }
+                if used[i] < cap_vms[i] && (pass == 1 || remainder(i) > 0.0) {
+                    vms[i][j] += 1;
+                    used[i] += 1;
+                    have += 1;
+                }
+            }
+        }
+        if have < target {
+            return Err(Error::Invalid(format!(
+                "user {j}: only {have}/{target} VMs placeable"
+            )));
+        }
+    }
+    Ok(VmAllocation { vms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn fig1_input(inst: &Instance) -> SlotInput<'_> {
+        SlotInput::from_instance(inst, 0)
+    }
+
+    #[test]
+    fn rounded_allocation_is_feasible() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = fig1_input(&inst);
+        // Fractional solution: 0.6 at A, 0.4 at B.
+        let x = Allocation::from_flat(2, 1, vec![0.6, 0.4]);
+        let vm = round_to_vms(&input, &x, 0.5).unwrap();
+        let rounded = vm.to_allocation(0.5);
+        assert!(rounded.demand_shortfall(inst.workloads()) < 1e-12);
+        assert!(rounded.capacity_excess(inst.system().capacities()) < 1e-12);
+        // 2 VMs of 0.5 for λ = 1.
+        assert_eq!(vm.total_vms(), 2);
+    }
+
+    #[test]
+    fn rounding_respects_fractional_shape() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = fig1_input(&inst);
+        let x = Allocation::from_flat(2, 1, vec![0.9, 0.1]);
+        let vm = round_to_vms(&input, &x, 0.5).unwrap();
+        // 0.9/0.5 = 1.8 → one floor VM at A + largest remainder also at A.
+        assert_eq!(vm.vms[0][0], 2);
+        assert_eq!(vm.vms[1][0], 0);
+    }
+
+    #[test]
+    fn exact_multiples_round_trivially() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = fig1_input(&inst);
+        let x = Allocation::from_flat(2, 1, vec![1.0, 0.0]);
+        let vm = round_to_vms(&input, &x, 0.25).unwrap();
+        assert_eq!(vm.vms[0][0], 4);
+        let back = vm.to_allocation(0.25);
+        assert_eq!(back.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn infeasible_vm_size_is_rejected() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = fig1_input(&inst);
+        let x = Allocation::from_flat(2, 1, vec![1.0, 0.0]);
+        // Each cloud has capacity 2.0; vm_size 1.5 → 1 VM per cloud, user
+        // needs ⌈1/1.5⌉ = 1 → feasible.
+        assert!(round_to_vms(&input, &x, 1.5).is_ok());
+        // vm_size 5.0 → zero VMs fit anywhere.
+        assert!(round_to_vms(&input, &x, 5.0).is_err());
+        assert!(round_to_vms(&input, &x, 0.0).is_err());
+    }
+
+    #[test]
+    fn capacity_limits_spill_to_other_clouds() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = fig1_input(&inst);
+        // Fractional solution wants 2.0 at A (= its capacity) but with
+        // vm_size 0.75 only ⌊2/0.75⌋ = 2 VMs fit; the rest must spill to B.
+        let x = Allocation::from_flat(2, 1, vec![2.0, 0.1]);
+        let vm = round_to_vms(&input, &x, 0.75).unwrap();
+        assert!(vm.vms[0][0] <= 2);
+        let rounded = vm.to_allocation(0.75);
+        assert!(rounded.demand_shortfall(inst.workloads()) < 1e-12);
+        assert!(rounded.capacity_excess(inst.system().capacities()) < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The static description of an edge-cloud deployment.
+
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// An edge-cloud system: `I` clouds with capacities `C_i` and pairwise
+/// network delays `d(i, i')` (`d(i,i) = 0`).
+///
+/// # Example
+///
+/// ```
+/// use edgealloc::EdgeCloudSystem;
+///
+/// # fn main() -> Result<(), edgealloc::Error> {
+/// let sys = EdgeCloudSystem::new(
+///     vec![10.0, 20.0],
+///     vec![vec![0.0, 1.5], vec![1.5, 0.0]],
+/// )?;
+/// assert_eq!(sys.num_clouds(), 2);
+/// assert_eq!(sys.delay(0, 1), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCloudSystem {
+    capacities: Vec<f64>,
+    /// `delay[i][i']`, zero diagonal.
+    delay: Vec<Vec<f64>>,
+}
+
+impl EdgeCloudSystem {
+    /// Creates a system from capacities and an inter-cloud delay matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] if the matrix is not square of matching
+    /// size, a diagonal entry is nonzero, any delay is negative/non-finite,
+    /// or any capacity is non-positive.
+    pub fn new(capacities: Vec<f64>, delay: Vec<Vec<f64>>) -> Result<Self> {
+        let n = capacities.len();
+        if n == 0 {
+            return Err(Error::Invalid("need at least one edge cloud".into()));
+        }
+        if capacities.iter().any(|&c| !(c > 0.0) || !c.is_finite()) {
+            return Err(Error::Invalid("capacities must be positive".into()));
+        }
+        if delay.len() != n {
+            return Err(Error::Invalid(format!(
+                "delay matrix has {} rows for {} clouds",
+                delay.len(),
+                n
+            )));
+        }
+        for (i, row) in delay.iter().enumerate() {
+            if row.len() != n {
+                return Err(Error::Invalid(format!("delay row {i} has length {}", row.len())));
+            }
+            if row[i] != 0.0 {
+                return Err(Error::Invalid(format!("delay[{i}][{i}] must be zero")));
+            }
+            if row.iter().any(|&d| d < 0.0 || !d.is_finite()) {
+                return Err(Error::Invalid(format!("delay row {i} has invalid entries")));
+            }
+        }
+        Ok(EdgeCloudSystem { capacities, delay })
+    }
+
+    /// Builds a system over a station network, with delays equal to
+    /// great-circle distance (km) times `delay_per_km` and the given
+    /// capacities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EdgeCloudSystem::new`] validation errors.
+    pub fn from_stations(
+        net: &mobility::StationNetwork,
+        capacities: Vec<f64>,
+        delay_per_km: f64,
+    ) -> Result<Self> {
+        let mut delay = net.distance_matrix_km();
+        for row in &mut delay {
+            for d in row {
+                *d *= delay_per_km;
+            }
+        }
+        EdgeCloudSystem::new(capacities, delay)
+    }
+
+    /// Number of edge clouds `I`.
+    pub fn num_clouds(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of cloud `i`.
+    pub fn capacity(&self, i: usize) -> f64 {
+        self.capacities[i]
+    }
+
+    /// All capacities.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Total capacity `Σ_i C_i`.
+    pub fn total_capacity(&self) -> f64 {
+        self.capacities.iter().sum()
+    }
+
+    /// Inter-cloud delay `d(i, i')`.
+    pub fn delay(&self, i: usize, j: usize) -> f64 {
+        self.delay[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nonzero_diagonal() {
+        let r = EdgeCloudSystem::new(vec![1.0], vec![vec![0.5]]);
+        assert!(matches!(r, Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let r = EdgeCloudSystem::new(vec![0.0], vec![vec![0.0]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_delay() {
+        let r = EdgeCloudSystem::new(vec![1.0, 1.0], vec![vec![0.0, 1.0], vec![1.0]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_stations_scales_distances() {
+        let net = mobility::rome_metro();
+        let caps = vec![5.0; net.len()];
+        let sys = EdgeCloudSystem::from_stations(&net, caps, 2.0).unwrap();
+        let d = net.distance_matrix_km();
+        assert!((sys.delay(0, 1) - 2.0 * d[0][1]).abs() < 1e-12);
+        assert_eq!(sys.delay(3, 3), 0.0);
+    }
+
+    #[test]
+    fn total_capacity_sums() {
+        let sys =
+            EdgeCloudSystem::new(vec![1.0, 2.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(sys.total_capacity(), 3.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! `mobility` — input-data substrates for edge-cloud experiments.
+//!
+//! The ICDCS 2017 paper's evaluation drives its online resource-allocation
+//! algorithm with (a) the CRAWDAD Roma taxi GPS traces attached to 15 Rome
+//! metro stations hosting edge clouds, and (b) synthetic random-walk
+//! mobility on the metro graph. The taxi dataset is a gated download, so
+//! this crate ships a statistically equivalent **synthetic taxi-trip
+//! generator** ([`taxi`]) alongside a parser for the real CRAWDAD text
+//! format ([`trace`]) so the original data can be dropped in.
+//!
+//! Components:
+//!
+//! * [`geo`] — GPS points and haversine distances.
+//! * [`stations`] — the 15-station central Rome metro network (embedded
+//!   coordinates, line adjacency).
+//! * [`taxi`] — synthetic taxi-like trips (hotspot-to-hotspot waypoint
+//!   motion with street-speed noise and pauses).
+//! * [`random_walk`] — the paper's §V-D metro-graph random walk.
+//! * [`attach`] — nearest-station attachment, producing the per-slot
+//!   `(l_{j,t}, d(j, l_{j,t}))` inputs the allocator consumes.
+//! * [`workload`] — power-law / uniform / normal user workloads.
+//! * [`prices`] — operation, reconfiguration, and bandwidth price processes
+//!   exactly as described in §V-A.
+//! * [`stats`] — trace statistics (dwell times, handover rates) used to
+//!   validate the CRAWDAD substitution.
+//! * [`rand_util`] — the few distributions needed, built on `rand` alone.
+
+pub mod attach;
+pub mod geo;
+pub mod prices;
+pub mod rand_util;
+pub mod random_walk;
+pub mod stations;
+pub mod stats;
+pub mod taxi;
+pub mod trace;
+pub mod workload;
+
+pub use attach::MobilityInput;
+pub use geo::GeoPoint;
+pub use stations::{rome_metro, Station, StationNetwork};

@@ -1,0 +1,99 @@
+//! The handful of random distributions the generators need, implemented on
+//! top of `rand` alone (the crate deliberately avoids `rand_distr`).
+
+use rand::Rng;
+
+/// Samples a standard normal variate by the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (log of zero).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples `N(mean, sd²)` truncated below at `floor` by resampling (with a
+/// clamp fallback after 64 rejections, so the call always terminates).
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, floor: f64) -> f64 {
+    for _ in 0..64 {
+        let v = normal(rng, mean, sd);
+        if v >= floor {
+            return v;
+        }
+    }
+    floor
+}
+
+/// Samples a Pareto variate with scale `xm > 0` and shape `alpha > 0`
+/// (density `∝ x^{-(alpha+1)}` for `x ≥ xm`) — the "power" workload
+/// distribution of the paper.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    xm / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_about_right() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = normal(&mut rng, 5.0, 2.0);
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(truncated_normal(&mut rng, 0.0, 1.0, 0.5) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max = 0.0f64;
+        for _ in 0..100_000 {
+            let v = pareto(&mut rng, 1.0, 2.0);
+            assert!(v >= 1.0);
+            max = max.max(v);
+        }
+        assert!(max > 20.0, "tail should reach far, max {max}");
+    }
+
+    #[test]
+    fn pareto_mean_matches_theory() {
+        // E[X] = alpha·xm/(alpha−1) for alpha > 1; alpha=3, xm=2 → 3.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 300_000;
+        let mean: f64 = (0..n).map(|_| pareto(&mut rng, 2.0, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+}

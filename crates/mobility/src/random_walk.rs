@@ -1,0 +1,112 @@
+//! The paper's §V-D synthetic mobility: a uniform random walk on the metro
+//! graph.
+//!
+//! Each user starts at an arbitrary station and, at every slot, moves to one
+//! of the neighboring stations or stays, each with equal probability (e.g.
+//! with three neighbors each of the four options has probability 25%).
+
+use crate::attach::MobilityInput;
+use crate::stations::StationNetwork;
+use rand::Rng;
+
+/// Generates random-walk mobility for `num_users` users over `num_slots`
+/// slots on the station graph `net`.
+///
+/// Users attached to a station have zero access delay (they are *at* the
+/// station), matching the synthetic experiment where only inter-cloud
+/// distances matter.
+///
+/// # Panics
+///
+/// Panics if `net` is empty.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let net = mobility::rome_metro();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let input = mobility::random_walk::generate(&net, 40, 60, &mut rng);
+/// assert_eq!(input.num_users(), 40);
+/// assert_eq!(input.num_slots(), 60);
+/// ```
+pub fn generate<R: Rng + ?Sized>(
+    net: &StationNetwork,
+    num_users: usize,
+    num_slots: usize,
+    rng: &mut R,
+) -> MobilityInput {
+    assert!(!net.is_empty(), "station network is empty");
+    let mut attachment = Vec::with_capacity(num_users);
+    for _ in 0..num_users {
+        let mut row = Vec::with_capacity(num_slots);
+        let mut here = rng.gen_range(0..net.len());
+        for _ in 0..num_slots {
+            row.push(here);
+            let nbrs = net.neighbors(here);
+            // Options: stay here, or move to one of the neighbors.
+            let pick = rng.gen_range(0..=nbrs.len());
+            if pick > 0 {
+                here = nbrs[pick - 1];
+            }
+        }
+        attachment.push(row);
+    }
+    let access_delay = vec![vec![0.0; num_slots]; num_users];
+    MobilityInput::new(net.len(), attachment, access_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stations::rome_metro;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moves_only_along_edges() {
+        let net = rome_metro();
+        let mut rng = StdRng::seed_from_u64(99);
+        let input = generate(&net, 20, 50, &mut rng);
+        for j in 0..20 {
+            for t in 1..50 {
+                let (prev, cur) = (input.attached(j, t - 1), input.attached(j, t));
+                assert!(
+                    prev == cur || net.neighbors(prev).contains(&cur),
+                    "user {j} jumped {prev}→{cur}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stay_probability_is_roughly_uniform() {
+        // On a path-graph interior node (2 neighbors), stay ≈ 1/3 of slots.
+        let net = rome_metro();
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = generate(&net, 400, 100, &mut rng);
+        let rate = input.handover_rate();
+        // Stations have 1–3 neighbors so the move probability is between
+        // 1/2 and 3/4; handover rate must land in that band.
+        assert!(rate > 0.45 && rate < 0.8, "handover rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let net = rome_metro();
+        let a = generate(&net, 5, 20, &mut StdRng::seed_from_u64(42));
+        let b = generate(&net, 5, 20, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_access_delay() {
+        let net = rome_metro();
+        let input = generate(&net, 3, 10, &mut StdRng::seed_from_u64(1));
+        for j in 0..3 {
+            for t in 0..10 {
+                assert_eq!(input.delay(j, t), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Mobility-trace statistics.
+//!
+//! Used to sanity-check that the synthetic taxi generator plays the same
+//! statistical role as the real CRAWDAD trace (DESIGN.md substitution
+//! note): handover behaviour, dwell times, and station-visit concentration
+//! are the features the allocation algorithm actually reacts to.
+
+use crate::attach::MobilityInput;
+
+/// Summary statistics of a [`MobilityInput`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityStats {
+    /// Fraction of consecutive-slot pairs with a station change.
+    pub handover_rate: f64,
+    /// Mean number of consecutive slots spent at one station.
+    pub mean_dwell_slots: f64,
+    /// Longest dwell observed (slots).
+    pub max_dwell_slots: usize,
+    /// Station-visit concentration: a normalized Herfindahl index in
+    /// `[0, 1]`, 0 = perfectly uniform visits, 1 = all visits at one
+    /// station.
+    pub visit_concentration: f64,
+    /// Mean access delay (same distance units as the input).
+    pub mean_access_delay: f64,
+}
+
+/// Computes summary statistics of a mobility input.
+///
+/// # Panics
+///
+/// Panics if the input has no users or no slots.
+pub fn analyze(input: &MobilityInput) -> MobilityStats {
+    let users = input.num_users();
+    let slots = input.num_slots();
+    assert!(users > 0 && slots > 0, "empty mobility input");
+
+    // Dwell times.
+    let mut dwell_sum = 0usize;
+    let mut dwell_count = 0usize;
+    let mut max_dwell = 0usize;
+    for j in 0..users {
+        let mut run = 1usize;
+        for t in 1..slots {
+            if input.attached(j, t) == input.attached(j, t - 1) {
+                run += 1;
+            } else {
+                dwell_sum += run;
+                dwell_count += 1;
+                max_dwell = max_dwell.max(run);
+                run = 1;
+            }
+        }
+        dwell_sum += run;
+        dwell_count += 1;
+        max_dwell = max_dwell.max(run);
+    }
+
+    // Visit concentration (normalized Herfindahl).
+    let freq = input.attachment_frequency();
+    let total: f64 = freq.iter().map(|&f| f as f64).sum();
+    let hhi: f64 = freq
+        .iter()
+        .map(|&f| {
+            let share = f as f64 / total;
+            share * share
+        })
+        .sum();
+    let n = input.num_clouds() as f64;
+    let concentration = if n > 1.0 {
+        ((hhi - 1.0 / n) / (1.0 - 1.0 / n)).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+
+    let mut delay_sum = 0.0;
+    for j in 0..users {
+        for t in 0..slots {
+            delay_sum += input.delay(j, t);
+        }
+    }
+
+    MobilityStats {
+        handover_rate: input.handover_rate(),
+        mean_dwell_slots: dwell_sum as f64 / dwell_count as f64,
+        max_dwell_slots: max_dwell,
+        visit_concentration: concentration,
+        mean_access_delay: delay_sum / (users * slots) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_user_has_zero_handover_and_full_dwell() {
+        let input = MobilityInput::new(3, vec![vec![1; 6]], vec![vec![0.5; 6]]);
+        let s = analyze(&input);
+        assert_eq!(s.handover_rate, 0.0);
+        assert_eq!(s.mean_dwell_slots, 6.0);
+        assert_eq!(s.max_dwell_slots, 6);
+        assert_eq!(s.visit_concentration, 1.0);
+        assert!((s.mean_access_delay - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillating_user_has_unit_dwell() {
+        let input = MobilityInput::new(2, vec![vec![0, 1, 0, 1]], vec![vec![0.0; 4]]);
+        let s = analyze(&input);
+        assert_eq!(s.handover_rate, 1.0);
+        assert_eq!(s.mean_dwell_slots, 1.0);
+        // Perfectly balanced between two of... two stations → concentration 0.
+        assert_eq!(s.visit_concentration, 0.0);
+    }
+
+    #[test]
+    fn taxi_trace_is_stickier_than_random_walk() {
+        // The key statistical property preserved by the substitution:
+        // taxi-like motion dwells far longer at a station than a uniform
+        // per-slot random walk.
+        let net = crate::rome_metro();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = crate::taxi::TaxiConfig {
+            num_users: 25,
+            num_slots: 40,
+            ..Default::default()
+        };
+        let taxi = analyze(&crate::taxi::generate(&net, &cfg, &mut rng));
+        let walk = analyze(&crate::random_walk::generate(&net, 25, 40, &mut rng));
+        assert!(
+            taxi.mean_dwell_slots > 1.5 * walk.mean_dwell_slots,
+            "taxi dwell {} vs walk dwell {}",
+            taxi.mean_dwell_slots,
+            walk.mean_dwell_slots
+        );
+        assert!(taxi.handover_rate < walk.handover_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_input() {
+        let input = MobilityInput::new(2, vec![], vec![]);
+        let _ = analyze(&input);
+    }
+}

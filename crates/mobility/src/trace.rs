@@ -1,0 +1,290 @@
+//! Parser and resampler for the CRAWDAD `roma/taxi` trace format.
+//!
+//! The real dataset (gated download) is a `;`-separated text file:
+//!
+//! ```text
+//! 156;2014-02-01 15:00:00.739166+01;POINT(41.88367 12.48777)
+//! ```
+//!
+//! [`parse_line`] reads one record and [`resample`] turns a set of records
+//! into the per-slot positions used by
+//! [`MobilityInput::from_positions`](crate::attach::MobilityInput::from_positions),
+//! so experiments can switch from the synthetic taxi generator to the real
+//! data without further code changes.
+
+use crate::geo::GeoPoint;
+use std::fmt;
+
+/// One GPS fix from the trace file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiRecord {
+    /// Driver (user) identifier.
+    pub driver: u64,
+    /// Seconds since the Unix epoch (timezone offset ignored — the dataset
+    /// is uniform, only differences matter).
+    pub timestamp: f64,
+    /// GPS position.
+    pub point: GeoPoint,
+}
+
+/// Error produced when a trace line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse trace line: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn err(reason: impl Into<String>) -> ParseTraceError {
+    ParseTraceError {
+        reason: reason.into(),
+    }
+}
+
+/// Days from civil date (Howard Hinnant's algorithm), days since 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let doy = (153 * u64::from(if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + u64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Parses a timestamp of the form `YYYY-MM-DD HH:MM:SS[.frac][+TZ]`.
+fn parse_timestamp(s: &str) -> Result<f64, ParseTraceError> {
+    let s = s.trim();
+    let (date, rest) = s.split_once(' ').ok_or_else(|| err("missing time part"))?;
+    let mut dp = date.split('-');
+    let y: i64 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad year"))?;
+    let m: u32 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad month"))?;
+    let d: u32 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad day"))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err("month/day out of range"));
+    }
+    // Strip timezone suffix (+01, +01:00, Z).
+    let time = rest
+        .split(['+', 'Z'])
+        .next()
+        .unwrap_or(rest)
+        .trim_end_matches(' ');
+    let mut tp = time.split(':');
+    let hh: u32 = tp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad hour"))?;
+    let mm: u32 = tp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad minute"))?;
+    let ss: f64 = tp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad second"))?;
+    if hh >= 24 || mm >= 60 || !(0.0..60.0).contains(&ss) {
+        return Err(err("time out of range"));
+    }
+    Ok(days_from_civil(y, m, d) as f64 * 86_400.0 + hh as f64 * 3600.0 + mm as f64 * 60.0 + ss)
+}
+
+/// Parses one line of the CRAWDAD `roma/taxi` file.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use mobility::trace::parse_line;
+///
+/// let r = parse_line("156;2014-02-12 15:00:01.73+01;POINT(41.8837 12.4878)").unwrap();
+/// assert_eq!(r.driver, 156);
+/// assert!((r.point.lat - 41.8837).abs() < 1e-9);
+/// ```
+pub fn parse_line(line: &str) -> Result<TaxiRecord, ParseTraceError> {
+    let mut parts = line.trim().splitn(3, ';');
+    let driver: u64 = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| err("bad driver id"))?;
+    let ts = parse_timestamp(parts.next().ok_or_else(|| err("missing timestamp"))?)?;
+    let point_str = parts.next().ok_or_else(|| err("missing POINT"))?.trim();
+    let inner = point_str
+        .strip_prefix("POINT(")
+        .and_then(|v| v.strip_suffix(')'))
+        .ok_or_else(|| err("POINT(...) expected"))?;
+    let mut coords = inner.split_whitespace();
+    let lat: f64 = coords
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad latitude"))?;
+    let lon: f64 = coords
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err("bad longitude"))?;
+    Ok(TaxiRecord {
+        driver,
+        timestamp: ts,
+        point: GeoPoint::new(lat, lon),
+    })
+}
+
+/// Parses a whole file's worth of lines, skipping empty ones.
+///
+/// # Errors
+///
+/// Returns the first parse error with its line number attached.
+pub fn parse_lines(content: &str) -> Result<Vec<TaxiRecord>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (no, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| err(format!("line {}: {}", no + 1, e.reason)))?);
+    }
+    Ok(out)
+}
+
+/// Resamples raw GPS records into per-driver per-slot positions.
+///
+/// The window starts at `start_ts` and spans `num_slots` slots of
+/// `slot_seconds` each. A driver is included only if it has at least one fix
+/// before (or at) every slot boundary and one after the window start —
+/// positions are linearly interpolated between surrounding fixes and held
+/// constant beyond the last fix.
+///
+/// Returns `(driver_ids, positions)` where `positions[u][t]` is the
+/// position of driver `driver_ids[u]` at slot `t`.
+pub fn resample(
+    records: &[TaxiRecord],
+    start_ts: f64,
+    slot_seconds: f64,
+    num_slots: usize,
+) -> (Vec<u64>, Vec<Vec<GeoPoint>>) {
+    use std::collections::BTreeMap;
+    let mut by_driver: BTreeMap<u64, Vec<(f64, GeoPoint)>> = BTreeMap::new();
+    for r in records {
+        by_driver
+            .entry(r.driver)
+            .or_default()
+            .push((r.timestamp, r.point));
+    }
+    let mut ids = Vec::new();
+    let mut out = Vec::new();
+    for (driver, mut fixes) in by_driver {
+        fixes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Coverage: need a fix at or before the window start.
+        if fixes.first().is_none_or(|f| f.0 > start_ts) {
+            continue;
+        }
+        let mut row = Vec::with_capacity(num_slots);
+        for t in 0..num_slots {
+            let when = start_ts + t as f64 * slot_seconds;
+            // Find surrounding fixes.
+            let after = fixes.partition_point(|f| f.0 <= when);
+            let pos = if after == 0 {
+                fixes[0].1
+            } else if after >= fixes.len() {
+                fixes[fixes.len() - 1].1
+            } else {
+                let (t0, p0) = fixes[after - 1];
+                let (t1, p1) = fixes[after];
+                let f = if t1 > t0 { (when - t0) / (t1 - t0) } else { 0.0 };
+                p0.lerp(&p1, f)
+            };
+            row.push(pos);
+        }
+        ids.push(driver);
+        out.push(row);
+    }
+    (ids, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_line() {
+        let r = parse_line("7;2014-02-12 15:30:45.5+01;POINT(41.9 12.5)").unwrap();
+        assert_eq!(r.driver, 7);
+        assert_eq!(r.point, GeoPoint::new(41.9, 12.5));
+    }
+
+    #[test]
+    fn timestamp_differences_are_exact() {
+        let a = parse_line("1;2014-02-12 15:00:00+01;POINT(41.9 12.5)").unwrap();
+        let b = parse_line("1;2014-02-12 15:01:30+01;POINT(41.9 12.5)").unwrap();
+        assert!((b.timestamp - a.timestamp - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midnight_rollover() {
+        let a = parse_line("1;2014-02-12 23:59:00+01;POINT(41.9 12.5)").unwrap();
+        let b = parse_line("1;2014-02-13 00:01:00+01;POINT(41.9 12.5)").unwrap();
+        assert!((b.timestamp - a.timestamp - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("not a line").is_err());
+        assert!(parse_line("1;2014-02-12 15:00:00;CIRCLE(1 2)").is_err());
+        assert!(parse_line("x;2014-02-12 15:00:00;POINT(1 2)").is_err());
+        assert!(parse_line("1;2014-13-40 15:00:00;POINT(1 2)").is_err());
+    }
+
+    #[test]
+    fn parse_lines_reports_line_numbers() {
+        let e = parse_lines("1;2014-02-12 15:00:00;POINT(1 2)\nbroken").unwrap_err();
+        assert!(e.reason.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn resample_interpolates_between_fixes() {
+        let recs = vec![
+            parse_line("5;2014-02-12 15:00:00+01;POINT(41.0 12.0)").unwrap(),
+            parse_line("5;2014-02-12 15:02:00+01;POINT(41.2 12.2)").unwrap(),
+        ];
+        let start = recs[0].timestamp;
+        let (ids, pos) = resample(&recs, start, 60.0, 3);
+        assert_eq!(ids, vec![5]);
+        assert!((pos[0][1].lat - 41.1).abs() < 1e-9); // halfway
+        assert!((pos[0][2].lat - 41.2).abs() < 1e-9); // at second fix
+    }
+
+    #[test]
+    fn resample_drops_uncovered_drivers() {
+        let recs = vec![parse_line("9;2014-02-12 16:00:00+01;POINT(41.0 12.0)").unwrap()];
+        // Window starts an hour before the driver's first fix.
+        let start = recs[0].timestamp - 3600.0;
+        let (ids, _) = resample(&recs, start, 60.0, 5);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn resample_holds_last_position() {
+        let recs = vec![parse_line("3;2014-02-12 15:00:00+01;POINT(41.5 12.5)").unwrap()];
+        let (ids, pos) = resample(&recs, recs[0].timestamp, 60.0, 4);
+        assert_eq!(ids, vec![3]);
+        for t in 0..4 {
+            assert_eq!(pos[0][t], GeoPoint::new(41.5, 12.5));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! User workload generators: power-law, uniform, and normal.
+//!
+//! §V-A of the paper evaluates three workload distributions; workloads are
+//! positive integers (`λ_j ∈ ℤ⁺`, required by Lemma 6's `λ_j ≥ 1` step).
+
+use crate::rand_util::{pareto, truncated_normal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of per-user workloads `λ_j ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadDist {
+    /// Power-law (Pareto) workload — "highly skewed, as in online social
+    /// network services" (§V-A). `alpha` is the tail exponent, `scale` the
+    /// minimum, `cap` an upper clamp to keep single users below capacity.
+    Power {
+        /// Tail exponent (> 1 for finite mean).
+        alpha: f64,
+        /// Minimum workload.
+        scale: f64,
+        /// Upper clamp.
+        cap: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (≥ 1).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Normal with the negative tail cut at 1.
+    Normal {
+        /// Mean workload.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+    },
+}
+
+impl WorkloadDist {
+    /// The paper-flavored default power-law workload.
+    pub fn default_power() -> Self {
+        WorkloadDist::Power {
+            alpha: 1.8,
+            scale: 1.0,
+            cap: 50.0,
+        }
+    }
+
+    /// The default uniform workload (mean 3).
+    pub fn default_uniform() -> Self {
+        WorkloadDist::Uniform { lo: 1.0, hi: 5.0 }
+    }
+
+    /// The default normal workload (mean 3, sd 1.5).
+    pub fn default_normal() -> Self {
+        WorkloadDist::Normal { mean: 3.0, sd: 1.5 }
+    }
+
+    /// Samples one integer workload `λ ≥ 1`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let v = match *self {
+            WorkloadDist::Power { alpha, scale, cap } => pareto(rng, scale, alpha).min(cap),
+            WorkloadDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            WorkloadDist::Normal { mean, sd } => truncated_normal(rng, mean, sd, 1.0),
+        };
+        (v.round().max(1.0)) as u32
+    }
+
+    /// Samples a vector of `n` workloads.
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_samples_are_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [
+            WorkloadDist::default_power(),
+            WorkloadDist::default_uniform(),
+            WorkloadDist::default_normal(),
+        ] {
+            for _ in 0..5_000 {
+                assert!(d.sample(&mut rng) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn power_is_more_skewed_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = WorkloadDist::default_power().sample_many(20_000, &mut rng);
+        let u = WorkloadDist::default_uniform().sample_many(20_000, &mut rng);
+        let max_p = *p.iter().max().unwrap();
+        let max_u = *u.iter().max().unwrap();
+        assert!(max_p > 2 * max_u, "power max {max_p} vs uniform max {max_u}");
+    }
+
+    #[test]
+    fn power_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = WorkloadDist::Power {
+            alpha: 1.1,
+            scale: 1.0,
+            cap: 10.0,
+        };
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) <= 10);
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_preserved_approximately() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = WorkloadDist::Normal { mean: 6.0, sd: 1.0 };
+        let s = d.sample_many(50_000, &mut rng);
+        let mean: f64 = s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+}

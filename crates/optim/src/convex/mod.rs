@@ -1,0 +1,28 @@
+//! Separable convex programming over linear inequality constraints.
+//!
+//! Solves problems of the form
+//!
+//! ```text
+//! min  Σ_k f_k(x_k) + Σ_g φ_g(Σ_{k∈g} x_k)
+//! s.t. A x ≥ b,   x ≥ 0
+//! ```
+//!
+//! where each `f_k` and `φ_g` is smooth and convex on `x > 0` — exactly the
+//! shape of the paper's regularized per-slot program ℙ₂ (linear terms plus
+//! relative-entropy terms on both the per-user-per-cloud variables and the
+//! per-cloud aggregates).
+//!
+//! The solver ([`BarrierSolver`]) is a log-barrier path-following Newton
+//! method. The Newton matrix is `D + Uᵀ E U` with diagonal `D` (from the
+//! separable terms and the `x ≥ 0` barrier) and a low-rank coupling `U`
+//! (group indicator rows and the constraint rows of `A`), so each Newton
+//! step is solved with a dense Schur complement of size `#groups + #rows` —
+//! independent of the number of variables.
+
+mod barrier;
+mod schur;
+mod separable;
+
+pub use barrier::{BarrierOptions, BarrierSolution, BarrierSolver, BarrierStats};
+pub use schur::DiagPlusLowRank;
+pub use separable::{GroupTerm, ScalarTerm, SeparableObjective};

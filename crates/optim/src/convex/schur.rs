@@ -1,0 +1,232 @@
+//! Diagonal-plus-low-rank linear solves via the Woodbury identity.
+
+use crate::linalg::DenseMatrix;
+use crate::sparse::CscMatrix;
+use crate::{Error, Result};
+
+/// Solves systems `(D + Uᵀ E U) dx = r` where `D ≻ 0` and `E ⪰ 0` are
+/// diagonal and `U` is a fixed `p × n` coupling matrix with `p ≪ n`.
+///
+/// The barrier solver's Newton matrix has exactly this shape: `D` collects
+/// the separable Hessian and the `x ≥ 0` barrier curvature, while `U` stacks
+/// the group-indicator rows and the constraint rows of `A`. Each solve costs
+/// one dense `p × p` Cholesky — independent of the number of variables.
+///
+/// Uses the Woodbury identity
+/// `(D + UᵀEU)⁻¹ = D⁻¹ − D⁻¹Uᵀ (E⁻¹ + U D⁻¹ Uᵀ)⁻¹ U D⁻¹`,
+/// restricted to rows with `E_i > 0` (zero-curvature rows contribute
+/// nothing).
+///
+/// # Example
+///
+/// ```
+/// use optim::sparse::Triplets;
+/// use optim::convex::DiagPlusLowRank;
+///
+/// # fn main() -> Result<(), optim::Error> {
+/// // U = [1 1], so M = diag(2,2) + 3·[1 1]ᵀ[1 1] = [[5,3],[3,5]].
+/// let mut t = Triplets::new(1, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 1, 1.0);
+/// let solver = DiagPlusLowRank::new(t.to_csc());
+/// let dx = solver.solve(&[2.0, 2.0], &[3.0], &[8.0, 8.0])?;
+/// assert!((dx[0] - 1.0).abs() < 1e-12 && (dx[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiagPlusLowRank {
+    /// The coupling matrix `U` (p × n).
+    u: CscMatrix,
+}
+
+impl DiagPlusLowRank {
+    /// Wraps a fixed coupling matrix `U` (p × n).
+    pub fn new(u: CscMatrix) -> Self {
+        DiagPlusLowRank { u }
+    }
+
+    /// Number of coupling rows `p`.
+    pub fn rank(&self) -> usize {
+        self.u.nrows()
+    }
+
+    /// Number of variables `n`.
+    pub fn dim(&self) -> usize {
+        self.u.ncols()
+    }
+
+    /// Solves `(D + Uᵀ E U) dx = r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] if the Schur complement is not positive
+    /// definite (should not happen for `D ≻ 0`, `E ⪰ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive `d`.
+    pub fn solve(&self, d: &[f64], e: &[f64], r: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        let p = self.rank();
+        assert_eq!(d.len(), n, "diagonal length mismatch");
+        assert_eq!(e.len(), p, "low-rank weight length mismatch");
+        assert_eq!(r.len(), n, "rhs length mismatch");
+        assert!(d.iter().all(|&v| v > 0.0), "D must be positive");
+
+        // Active rows: E_i > 0 (denormals excluded — their reciprocal
+        // overflows to infinity and poisons the Schur complement).
+        let active: Vec<usize> = (0..p).filter(|&i| e[i] > 1e-300).collect();
+        let z: Vec<f64> = (0..n).map(|k| r[k] / d[k]).collect();
+        if active.is_empty() {
+            return Ok(z);
+        }
+        let q = active.len();
+        let mut row_of = vec![usize::MAX; p];
+        for (qi, &i) in active.iter().enumerate() {
+            row_of[i] = qi;
+        }
+
+        // S = E_active⁻¹ + U_active D⁻¹ U_activeᵀ, built column-by-column of U.
+        let mut s = DenseMatrix::zeros(q, q);
+        for (qi, &i) in active.iter().enumerate() {
+            s.set(qi, qi, 1.0 / e[i]);
+        }
+        for k in 0..n {
+            let (rows, vals) = self.u.col(k);
+            let dk_inv = 1.0 / d[k];
+            for (a, &ra) in rows.iter().enumerate() {
+                let qa = row_of[ra];
+                if qa == usize::MAX {
+                    continue;
+                }
+                let va = vals[a] * dk_inv;
+                for (bidx, &rb) in rows.iter().enumerate().skip(a) {
+                    let qb = row_of[rb];
+                    if qb == usize::MAX {
+                        continue;
+                    }
+                    let contrib = va * vals[bidx];
+                    let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+                    s.add(hi, lo, contrib);
+                    if lo != hi {
+                        // keep full symmetric matrix for the dense Cholesky
+                        s.add(lo, hi, contrib);
+                    }
+                }
+            }
+        }
+        // The Schur complement is PSD in exact arithmetic; with extreme
+        // barrier weights it can lose definiteness to round-off. Retry with
+        // an escalating ridge before giving up.
+        let chol = {
+            let mut ridge = 0.0f64;
+            let base: f64 = (0..q).map(|i| s.get(i, i)).fold(1e-300, f64::max);
+            loop {
+                let mut sr = s.clone();
+                if ridge > 0.0 {
+                    for i in 0..q {
+                        sr.add(i, i, ridge);
+                    }
+                }
+                match sr.cholesky() {
+                    Ok(c) => break c,
+                    Err(_) if ridge < base * 1e-2 => {
+                        ridge = if ridge == 0.0 { base * 1e-12 } else { ridge * 100.0 };
+                    }
+                    Err(_) => {
+                        return Err(Error::Numerical(
+                            "Schur complement not positive definite".into(),
+                        ))
+                    }
+                }
+            }
+        };
+
+        // t = U z restricted to active rows.
+        let uz = self.u.mul_vec(&z);
+        let t_active: Vec<f64> = active.iter().map(|&i| uz[i]).collect();
+        let w_active = chol.solve(&t_active);
+        // Scatter back to full p.
+        let mut w = vec![0.0; p];
+        for (qi, &i) in active.iter().enumerate() {
+            w[i] = w_active[qi];
+        }
+        // dx = z − D⁻¹ Uᵀ w.
+        let utw = self.u.mul_transpose_vec(&w);
+        Ok((0..n).map(|k| z[k] - utw[k] / d[k]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    /// Dense reference: build M = D + UᵀEU and solve by LU.
+    fn dense_solve(u: &CscMatrix, d: &[f64], e: &[f64], r: &[f64]) -> Vec<f64> {
+        let n = u.ncols();
+        let p = u.nrows();
+        let ud = u.to_dense();
+        let mut m = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            m.set(k, k, d[k]);
+        }
+        for i in 0..p {
+            for a in 0..n {
+                for b in 0..n {
+                    m.add(a, b, ud[i][a] * e[i] * ud[i][b]);
+                }
+            }
+        }
+        m.lu().unwrap().solve(r)
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let mut t = Triplets::new(3, 5);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 2, 2.0);
+        t.push(1, 3, -1.0);
+        t.push(2, 0, 0.5);
+        t.push(2, 4, 1.5);
+        let u = t.to_csc();
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let e = [2.0, 0.5, 1.0];
+        let r = [1.0, -1.0, 2.0, 0.0, 3.0];
+        let solver = DiagPlusLowRank::new(u.clone());
+        let x = solver.solve(&d, &e, &r).unwrap();
+        let xref = dense_solve(&u, &d, &e, &r);
+        for k in 0..5 {
+            assert!((x[k] - xref[k]).abs() < 1e-9, "{x:?} vs {xref:?}");
+        }
+    }
+
+    #[test]
+    fn zero_curvature_rows_are_skipped() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let u = t.to_csc();
+        let d = [2.0, 2.0, 2.0];
+        let e = [0.0, 4.0]; // first row inert
+        let r = [2.0, 6.0, 2.0];
+        let solver = DiagPlusLowRank::new(u.clone());
+        let x = solver.solve(&d, &e, &r).unwrap();
+        let xref = dense_solve(&u, &d, &e, &r);
+        for k in 0..3 {
+            assert!((x[k] - xref[k]).abs() < 1e-10);
+        }
+        // Variable 0 sees only D.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_diagonal_when_no_active_rows() {
+        let t = Triplets::new(1, 2);
+        let solver = DiagPlusLowRank::new(t.to_csc());
+        let x = solver.solve(&[4.0, 2.0], &[0.0], &[8.0, 8.0]).unwrap();
+        assert_eq!(x, vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! `optim` — a self-contained convex-optimization substrate.
+//!
+//! This crate replaces the Pyomo + IPOPT/GLPK stack used by the ICDCS 2017
+//! paper *Online Resource Allocation for Arbitrary User Mobility in
+//! Distributed Edge Clouds*. It provides everything needed to solve the
+//! paper's per-slot convex program ℙ₂, the per-slot greedy LPs, and the
+//! horizon-wide offline LP, built from scratch:
+//!
+//! * [`sparse`] — compressed sparse column matrices and symmetric products.
+//! * [`linalg`] — dense Cholesky/LU, sparse LDLᵀ factorization with
+//!   elimination trees and a fill-reducing minimum-degree ordering.
+//! * [`lp`] — a sparse Mehrotra predictor-corrector interior-point solver
+//!   and an independent dense two-phase simplex used as a cross-check oracle.
+//! * [`convex`] — a log-barrier path-following Newton solver for separable
+//!   convex objectives (plus "group" terms `φ(Σ xᵢ)`) over linear
+//!   inequality constraints, exploiting diagonal-plus-low-rank Hessian
+//!   structure via a dense Schur complement.
+//! * [`model`] — a small modeling layer ("Pyomo-lite") for building linear
+//!   programs from named variables and linear expressions.
+//!
+//! # Example
+//!
+//! Solve `min -x - 2y  s.t. x + y <= 4, x <= 3, x,y >= 0`:
+//!
+//! ```
+//! use optim::model::Model;
+//!
+//! # fn main() -> Result<(), optim::Error> {
+//! let mut m = Model::new();
+//! let x = m.var("x");
+//! let y = m.var("y");
+//! m.minimize(-1.0 * x - 2.0 * y);
+//! m.leq(1.0 * x + 1.0 * y, 4.0);
+//! m.leq(1.0 * x, 3.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective() - (-8.0)).abs() < 1e-6);
+//! assert!((sol[y] - 4.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod convex;
+pub mod linalg;
+pub mod lp;
+pub mod model;
+pub mod sparse;
+
+use std::fmt;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The problem was proven (primal) infeasible.
+    Infeasible,
+    /// The problem was proven unbounded below.
+    Unbounded,
+    /// Dimensions of the supplied data are inconsistent.
+    Dimension(String),
+    /// The iteration limit was reached before convergence.
+    MaxIterations { iterations: usize, residual: f64 },
+    /// A factorization or line search broke down numerically.
+    Numerical(String),
+    /// The supplied starting point is not strictly feasible.
+    BadStartingPoint(String),
+    /// The problem description itself is invalid (NaN coefficient, …).
+    InvalidInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Infeasible => write!(f, "problem is infeasible"),
+            Error::Unbounded => write!(f, "problem is unbounded"),
+            Error::Dimension(s) => write!(f, "dimension mismatch: {s}"),
+            Error::MaxIterations {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::Numerical(s) => write!(f, "numerical failure: {s}"),
+            Error::BadStartingPoint(s) => write!(f, "starting point not strictly feasible: {s}"),
+            Error::InvalidInput(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

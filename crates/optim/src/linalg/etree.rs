@@ -1,0 +1,191 @@
+//! Elimination trees and symbolic Cholesky column counts.
+
+use crate::sparse::CscMatrix;
+
+/// Computes the elimination tree of a symmetric matrix given by its **upper
+/// triangle** in CSC form (column `k` holds row indices `i <= k`).
+///
+/// `parent[k]` is the parent of node `k` in the tree, or `usize::MAX` for
+/// roots. The elimination tree governs the dependency structure of sparse
+/// Cholesky/LDLᵀ factorization.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn elimination_tree(upper: &CscMatrix) -> Vec<usize> {
+    assert_eq!(upper.nrows(), upper.ncols(), "matrix must be square");
+    let n = upper.ncols();
+    let mut parent = vec![usize::MAX; n];
+    let mut ancestor = vec![usize::MAX; n];
+    for k in 0..n {
+        let (rows, _) = upper.col(k);
+        for &i in rows {
+            // Traverse from i up to the root of its subtree, path-compressing
+            // through `ancestor`.
+            let mut i = i;
+            while i < k {
+                let next = ancestor[i];
+                ancestor[i] = k;
+                if next == usize::MAX {
+                    parent[i] = k;
+                    break;
+                }
+                i = next;
+            }
+        }
+    }
+    parent
+}
+
+/// Postorders a forest given by `parent` pointers (roots have parent
+/// `usize::MAX`). Returns `post` such that `post[k]` is the k-th node in
+/// postorder.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists (reversed so that the natural order pops first).
+    let mut head = vec![usize::MAX; n];
+    let mut next = vec![usize::MAX; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != usize::MAX {
+            next[j] = head[p];
+            head[p] = j;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if parent[root] != usize::MAX {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&node) = stack.last() {
+            let child = head[node];
+            if child == usize::MAX {
+                post.push(node);
+                stack.pop();
+            } else {
+                head[node] = next[child];
+                stack.push(child);
+            }
+        }
+    }
+    post
+}
+
+/// Counts the number of nonzeros in each column of the Cholesky factor `L`
+/// (excluding the diagonal) of the symmetric matrix whose **upper triangle**
+/// is given, using the row-subtree characterization.
+///
+/// This quadratic-free implementation walks each row's subtree, which is
+/// `O(|L|)` total — fast enough for the problem sizes in this crate and
+/// simpler than the skeleton-matrix algorithm.
+pub fn column_counts(upper: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = upper.ncols();
+    let mut counts = vec![0usize; n];
+    let mut mark = vec![usize::MAX; n];
+    for k in 0..n {
+        mark[k] = k;
+        let (rows, _) = upper.col(k);
+        for &i in rows {
+            let mut i = i;
+            while i < k && mark[i] != k {
+                mark[i] = k;
+                counts[i] += 1;
+                i = parent[i];
+                if i == usize::MAX {
+                    break;
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    /// Upper triangle of the arrowhead matrix with dense last row/col.
+    fn arrowhead(n: usize) -> CscMatrix {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+        }
+        for i in 0..n - 1 {
+            t.push(i, n - 1, 1.0);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn etree_of_arrowhead_is_star() {
+        let a = arrowhead(5);
+        let parent = elimination_tree(&a);
+        assert_eq!(parent, vec![4, 4, 4, 4, usize::MAX]);
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_path() {
+        let n = 6;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let parent = elimination_tree(&t.to_csc());
+        for i in 0..n - 1 {
+            assert_eq!(parent[i], i + 1);
+        }
+        assert_eq!(parent[n - 1], usize::MAX);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let a = arrowhead(5);
+        let parent = elimination_tree(&a);
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 5);
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 5];
+            for (idx, &node) in post.iter().enumerate() {
+                pos[node] = idx;
+            }
+            pos
+        };
+        for k in 0..5 {
+            if parent[k] != usize::MAX {
+                assert!(pos[k] < pos[parent[k]], "child {k} after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn column_counts_arrowhead() {
+        // For the arrowhead, every column except the last has exactly one
+        // below-diagonal entry in L (the last row), with no fill.
+        let a = arrowhead(5);
+        let parent = elimination_tree(&a);
+        let counts = column_counts(&a, &parent);
+        assert_eq!(counts, vec![1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn column_counts_dense_block() {
+        // Fully dense 4x4: column k of L has n-1-k below-diagonal entries.
+        let n = 4;
+        let mut t = Triplets::new(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                t.push(i, j, 1.0 + (i == j) as i32 as f64 * 3.0);
+            }
+        }
+        let u = t.to_csc();
+        let parent = elimination_tree(&u);
+        let counts = column_counts(&u, &parent);
+        assert_eq!(counts, vec![3, 2, 1, 0]);
+    }
+}

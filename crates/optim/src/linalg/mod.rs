@@ -1,0 +1,18 @@
+//! Dense and sparse factorizations.
+//!
+//! * [`DenseMatrix`] with Cholesky and LU factorizations for the small dense
+//!   Schur-complement systems of the convex barrier solver.
+//! * [`LdlSymbolic`]/[`LdlFactor`] — sparse LDLᵀ with a separate symbolic
+//!   analysis (elimination tree + column counts) reused across the numeric
+//!   refactorizations of an interior-point run.
+//! * [`min_degree_ordering`] — a fill-reducing symmetric ordering.
+
+mod dense;
+mod etree;
+mod ldl;
+mod ordering;
+
+pub use dense::{DenseCholesky, DenseLu, DenseMatrix};
+pub use etree::{column_counts, elimination_tree, postorder};
+pub use ldl::{symperm_upper, LdlFactor, LdlSymbolic};
+pub use ordering::min_degree_ordering;

@@ -1,0 +1,227 @@
+//! Fill-reducing symmetric orderings.
+
+use crate::sparse::CscMatrix;
+use std::collections::BTreeSet;
+
+/// Computes a minimum-degree ordering of the symmetric matrix whose **lower
+/// triangle** is given. Returns `perm` with `perm[new] = old`, suitable for
+/// [`crate::linalg::LdlSymbolic::new`].
+///
+/// This is a straightforward elimination-graph minimum-degree (no quotient
+/// graph, no supernode detection). Adjacency lists are kept as sorted vectors
+/// and merged on elimination; a `BTreeSet<(degree, node)>` serves as the
+/// priority queue. It is not as fast as AMD but is dependable and more than
+/// adequate for the normal-equation matrices this crate produces (tens of
+/// thousands of rows with short cliques).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+///
+/// # Example
+///
+/// ```
+/// use optim::sparse::Triplets;
+/// use optim::linalg::{min_degree_ordering, LdlSymbolic};
+///
+/// // Arrowhead matrix: natural order fills in completely, minimum degree
+/// // keeps the factor as sparse as the matrix.
+/// let n = 30;
+/// let mut t = Triplets::new(n, n);
+/// for i in 0..n {
+///     t.push(i, i, 10.0);
+///     if i > 0 { t.push(i, 0, 1.0); }
+/// }
+/// let a = t.to_csc();
+/// let natural = LdlSymbolic::new(&a, None);
+/// let ordered = LdlSymbolic::new(&a, Some(min_degree_ordering(&a)));
+/// assert!(ordered.factor_nnz() < natural.factor_nnz());
+/// ```
+pub fn min_degree_ordering(lower: &CscMatrix) -> Vec<usize> {
+    let n = lower.ncols();
+    assert_eq!(lower.nrows(), n, "matrix must be square");
+
+    // Build symmetric adjacency (no self loops), sorted.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let (rows, _) = lower.col(j);
+        for &i in rows {
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let mut alive = vec![true; n];
+    let mut queue: BTreeSet<(usize, usize)> = (0..n).map(|v| (adj[v].len(), v)).collect();
+    let mut perm = Vec::with_capacity(n);
+    let mut scratch: Vec<usize> = Vec::new();
+
+    while let Some(&(_, v)) = queue.iter().next() {
+        queue.remove(&(adj[v].len(), v));
+        alive[v] = false;
+        perm.push(v);
+        // Clique = alive neighbors of v.
+        let clique: Vec<usize> = adj[v].iter().copied().filter(|&u| alive[u]).collect();
+        for &u in &clique {
+            let old_deg = adj[u].len();
+            // adj[u] := (alive(adj[u]) ∪ clique) \ {u, v}, merged sorted.
+            scratch.clear();
+            {
+                let a = &adj[u];
+                let b = &clique;
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() || j < b.len() {
+                    let pick_a = match (a.get(i), b.get(j)) {
+                        (Some(&x), Some(&y)) => {
+                            if x == y {
+                                j += 1;
+                                true
+                            } else {
+                                x < y
+                            }
+                        }
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let w = if pick_a {
+                        let w = a[i];
+                        i += 1;
+                        w
+                    } else {
+                        let w = b[j];
+                        j += 1;
+                        w
+                    };
+                    if w != u && w != v && alive[w] {
+                        scratch.push(w);
+                    }
+                }
+            }
+            queue.remove(&(old_deg, u));
+            std::mem::swap(&mut adj[u], &mut scratch);
+            queue.insert((adj[u].len(), u));
+        }
+        adj[v] = Vec::new(); // free memory for the eliminated node
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::LdlSymbolic;
+    use crate::sparse::Triplets;
+
+    fn is_permutation(p: &[usize]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &x in p {
+            if x >= p.len() || seen[x] {
+                return false;
+            }
+            seen[x] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn returns_a_valid_permutation() {
+        let mut t = Triplets::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 1.0);
+        }
+        t.push(4, 0, 1.0);
+        t.push(3, 1, 1.0);
+        let a = t.to_csc();
+        let p = min_degree_ordering(&a);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn diagonal_matrix_any_order_ok() {
+        let mut t = Triplets::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 1.0);
+        }
+        let p = min_degree_ordering(&t.to_csc());
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn arrowhead_reordering_eliminates_fill() {
+        // Arrowhead with the hub FIRST in natural order -> full fill.
+        let n = 20;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 10.0);
+            if i > 0 {
+                t.push(i, 0, 1.0);
+            }
+        }
+        let a = t.to_csc();
+        let natural = LdlSymbolic::new(&a, None);
+        assert_eq!(natural.factor_nnz(), n * (n - 1) / 2); // dense factor
+        let perm = min_degree_ordering(&a);
+        let ordered = LdlSymbolic::new(&a, Some(perm));
+        assert_eq!(ordered.factor_nnz(), n - 1); // hub eliminated last
+    }
+
+    #[test]
+    fn grid_graph_fill_is_reduced() {
+        // 2-D 8x8 grid Laplacian (+4I): min-degree should beat natural order.
+        let side = 8;
+        let n = side * side;
+        let mut t = Triplets::new(n, n);
+        let idx = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                t.push(idx(r, c), idx(r, c), 8.0);
+                if r + 1 < side {
+                    t.push(idx(r + 1, c), idx(r, c), -1.0);
+                }
+                if c + 1 < side {
+                    t.push(idx(r, c + 1), idx(r, c), -1.0);
+                }
+            }
+        }
+        let a = t.to_csc();
+        let natural = LdlSymbolic::new(&a, None).factor_nnz();
+        let ordered = LdlSymbolic::new(&a, Some(min_degree_ordering(&a))).factor_nnz();
+        assert!(
+            ordered <= natural,
+            "min-degree ({ordered}) should not exceed natural ({natural})"
+        );
+    }
+
+    #[test]
+    fn solve_after_min_degree_matches_natural() {
+        let n = 12;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, 1.0);
+            }
+            if i >= 5 {
+                t.push(i, i - 5, 0.5);
+            }
+        }
+        let a = t.to_csc();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x_nat = LdlSymbolic::new(&a, None).factor(&a).unwrap().solve(&b);
+        let perm = min_degree_ordering(&a);
+        let x_ord = LdlSymbolic::new(&a, Some(perm))
+            .factor(&a)
+            .unwrap()
+            .solve(&b);
+        for i in 0..n {
+            assert!((x_nat[i] - x_ord[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Sparse Mehrotra predictor-corrector interior-point method.
+//!
+//! Solves standard-form LPs `min cᵀx, Ax=b, x≥0` via the normal equations
+//! `A·D·Aᵀ Δy = r` with `D = diag(x/s)`, factored by the crate's sparse
+//! LDLᵀ under a minimum-degree ordering. The symbolic analysis (pattern of
+//! `A·Aᵀ`, ordering, elimination tree) is performed once per solve and
+//! reused by every iteration's refactorization.
+
+use crate::linalg::{min_degree_ordering, LdlSymbolic};
+use crate::lp::StandardLp;
+use crate::sparse::ops::NormalEqProduct;
+use crate::{Error, Result};
+
+/// Options for the interior-point solver.
+#[derive(Debug, Clone)]
+pub struct IpmOptions {
+    /// Relative tolerance on primal/dual residuals and duality gap.
+    pub tol: f64,
+    /// Iteration limit.
+    pub max_iters: usize,
+    /// Initial diagonal regularization added to `A·D·Aᵀ`.
+    pub reg: f64,
+    /// Fraction of the maximum step length taken (0 < τ < 1).
+    pub step_scale: f64,
+    /// Apply the minimum-degree ordering (disable only for experiments).
+    pub use_ordering: bool,
+}
+
+impl Default for IpmOptions {
+    fn default() -> Self {
+        IpmOptions {
+            tol: 1e-8,
+            max_iters: 200,
+            reg: 1e-10,
+            step_scale: 0.9995,
+            use_ordering: true,
+        }
+    }
+}
+
+/// Convergence statistics of a finished interior-point run.
+#[derive(Debug, Clone, Copy)]
+pub struct IpmStats {
+    /// Number of predictor-corrector iterations.
+    pub iterations: usize,
+    /// Final relative primal residual `‖Ax−b‖∞ / (1+‖b‖∞)`.
+    pub primal_residual: f64,
+    /// Final relative dual residual `‖Aᵀy+s−c‖∞ / (1+‖c‖∞)`.
+    pub dual_residual: f64,
+    /// Final relative duality gap `|cᵀx−bᵀy| / (1+|cᵀx|)`.
+    pub gap: f64,
+}
+
+/// Solution of a standard-form LP.
+#[derive(Debug, Clone)]
+pub struct IpmSolution {
+    /// Primal solution (length `n`, includes slack columns).
+    pub x: Vec<f64>,
+    /// Dual solution for the equality rows (length `m`).
+    pub y: Vec<f64>,
+    /// Dual slacks / reduced costs (length `n`).
+    pub s: Vec<f64>,
+    /// Convergence statistics.
+    pub stats: IpmStats,
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Largest α in (0, 1] with `v + α·dv ≥ (1-τ)·v`, i.e. the ratio test.
+fn max_step(v: &[f64], dv: &[f64]) -> f64 {
+    let mut alpha = 1.0f64;
+    for (x, d) in v.iter().zip(dv) {
+        if *d < 0.0 {
+            alpha = alpha.min(-x / d);
+        }
+    }
+    alpha
+}
+
+/// Solves a standard-form LP with the Mehrotra predictor-corrector method.
+///
+/// # Errors
+///
+/// * [`Error::Infeasible`] / [`Error::Unbounded`] on (heuristic) detection —
+///   iterates diverging while residuals stall.
+/// * [`Error::MaxIterations`] when the iteration limit is hit.
+/// * [`Error::Numerical`] if the normal equations cannot be factored even
+///   after boosting regularization.
+pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
+    let a = &std_lp.a;
+    let (m, n) = (a.nrows(), a.ncols());
+    let b = &std_lp.b;
+    let c = &std_lp.c;
+
+    for v in c.iter().chain(b.iter()) {
+        if !v.is_finite() {
+            return Err(Error::InvalidInput("non-finite coefficient".into()));
+        }
+    }
+
+    // Trivial cases.
+    if n == 0 {
+        if inf_norm(b) > opts.tol {
+            return Err(Error::Infeasible);
+        }
+        return Ok(IpmSolution {
+            x: vec![],
+            y: vec![0.0; m],
+            s: vec![],
+            stats: IpmStats {
+                iterations: 0,
+                primal_residual: 0.0,
+                dual_residual: 0.0,
+                gap: 0.0,
+            },
+        });
+    }
+    if m == 0 {
+        if c.iter().any(|&cj| cj < 0.0) {
+            return Err(Error::Unbounded);
+        }
+        return Ok(IpmSolution {
+            x: vec![0.0; n],
+            y: vec![],
+            s: c.clone(),
+            stats: IpmStats {
+                iterations: 0,
+                primal_residual: 0.0,
+                dual_residual: 0.0,
+                gap: 0.0,
+            },
+        });
+    }
+    // Rows with no entries must have zero rhs.
+    {
+        let at = a.transpose();
+        for i in 0..m {
+            if at.col(i).0.is_empty() && b[i].abs() > 1e-12 {
+                return Err(Error::Infeasible);
+            }
+        }
+    }
+
+    // Symbolic setup: pattern of A·Aᵀ, ordering, elimination tree.
+    let verbose = std::env::var_os("OPTIM_IPM_VERBOSE").is_some();
+    let t0 = std::time::Instant::now();
+    let mut product = NormalEqProduct::new(a);
+    let ones = vec![1.0; n];
+    let base_reg = opts.reg * (1.0 + a.max_abs() * a.max_abs());
+    let pattern = product.compute(&ones, base_reg).clone();
+    if verbose {
+        eprintln!(
+            "ipm setup: m={m} n={n} nnz(A)={} nnz(AAt/2)={} product {:?}",
+            a.nnz(),
+            pattern.nnz(),
+            t0.elapsed()
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let perm = if opts.use_ordering {
+        Some(min_degree_ordering(&pattern))
+    } else {
+        None
+    };
+    if verbose {
+        eprintln!("ipm setup: ordering {:?}", t0.elapsed());
+    }
+    let t0 = std::time::Instant::now();
+    let symbolic = LdlSymbolic::new(&pattern, perm);
+    if verbose {
+        eprintln!(
+            "ipm setup: symbolic {:?} (factor nnz {})",
+            t0.elapsed(),
+            symbolic.factor_nnz()
+        );
+    }
+
+    // Helper: factor A·D·Aᵀ + reg·I, boosting reg on failure.
+    let factor = |product: &mut NormalEqProduct,
+                  d: &[f64],
+                  symbolic: &LdlSymbolic,
+                  reg0: f64| {
+        let mut reg = reg0;
+        for _ in 0..6 {
+            let s = product.compute(d, reg);
+            match symbolic.factor(s) {
+                Ok(f) => return Ok(f),
+                Err(_) => reg = (reg * 1e3).max(1e-12),
+            }
+        }
+        Err(Error::Numerical(
+            "normal equations could not be factored".into(),
+        ))
+    };
+
+    // ---- Mehrotra starting point ----
+    let f0 = factor(&mut product, &ones, &symbolic, base_reg)?;
+    // x = Aᵀ (A Aᵀ)⁻¹ b  (min-norm solution of Ax=b)
+    let w = f0.solve(b);
+    let mut x = a.mul_transpose_vec(&w);
+    // y = (A Aᵀ)⁻¹ A c ; s = c − Aᵀ y
+    let ac = a.mul_vec(c);
+    let mut y = f0.solve(&ac);
+    let aty = a.mul_transpose_vec(&y);
+    let mut s: Vec<f64> = c.iter().zip(&aty).map(|(ci, v)| ci - v).collect();
+
+    let dx = (-1.5 * x.iter().cloned().fold(f64::INFINITY, f64::min)).max(0.0);
+    let ds = (-1.5 * s.iter().cloned().fold(f64::INFINITY, f64::min)).max(0.0);
+    for xi in &mut x {
+        *xi += dx;
+    }
+    for si in &mut s {
+        *si += ds;
+    }
+    let xs = dot(&x, &s).max(1e-10);
+    let sum_s: f64 = s.iter().sum::<f64>().max(1e-10);
+    let sum_x: f64 = x.iter().sum::<f64>().max(1e-10);
+    let dx2 = 0.5 * xs / sum_s;
+    let ds2 = 0.5 * xs / sum_x;
+    for xi in &mut x {
+        *xi += dx2;
+        *xi = xi.max(1e-10);
+    }
+    for si in &mut s {
+        *si += ds2;
+        *si = si.max(1e-10);
+    }
+
+    let norm_b = inf_norm(b);
+    let norm_c = inf_norm(c);
+
+    let mut stats = IpmStats {
+        iterations: 0,
+        primal_residual: f64::INFINITY,
+        dual_residual: f64::INFINITY,
+        gap: f64::INFINITY,
+    };
+
+    let mut rb = vec![0.0; m];
+    let mut d = vec![0.0; n];
+
+    // Best iterate seen so far (by worst relative residual), returned if the
+    // iteration stalls after effectively converging.
+    type BestIterate = (f64, Vec<f64>, Vec<f64>, Vec<f64>, IpmStats);
+    let mut best: Option<BestIterate> = None;
+    let mut stall_count = 0usize;
+
+    for iter in 0..opts.max_iters {
+        stats.iterations = iter;
+        // Residuals.
+        a.mul_vec_into(&x, &mut rb);
+        for i in 0..m {
+            rb[i] -= b[i];
+        }
+        let aty = a.mul_transpose_vec(&y);
+        let rc: Vec<f64> = (0..n).map(|j| aty[j] + s[j] - c[j]).collect();
+        let mu = dot(&x, &s) / n as f64;
+        let cx = dot(c, &x);
+        let by = dot(b, &y);
+
+        stats.primal_residual = inf_norm(&rb) / (1.0 + norm_b);
+        stats.dual_residual = inf_norm(&rc) / (1.0 + norm_c);
+        stats.gap = (cx - by).abs() / (1.0 + cx.abs());
+
+        if std::env::var_os("OPTIM_IPM_VERBOSE").is_some() {
+            eprintln!(
+                "ipm iter {iter}: rp={:.3e} rd={:.3e} gap={:.3e} mu={mu:.3e}",
+                stats.primal_residual, stats.dual_residual, stats.gap
+            );
+        }
+        if stats.primal_residual < opts.tol && stats.dual_residual < opts.tol && stats.gap < opts.tol
+        {
+            return Ok(IpmSolution { x, y, s, stats });
+        }
+
+        // Track the best iterate; detect stalls (no improvement for a while)
+        // and fall back to the best point if it is acceptably accurate.
+        let worst_res = stats.primal_residual.max(stats.dual_residual).max(stats.gap);
+        match &best {
+            Some((b_res, ..)) if worst_res >= *b_res => stall_count += 1,
+            _ => {
+                best = Some((worst_res, x.clone(), y.clone(), s.clone(), stats));
+                stall_count = 0;
+            }
+        }
+        if stall_count >= 30 {
+            let (b_res, bx, by, bs, bstats) = best.expect("best iterate recorded");
+            if b_res <= opts.tol * 1e4 {
+                // Converged to slightly above tolerance and then stalled on
+                // floating-point limits: accept the best iterate.
+                return Ok(IpmSolution {
+                    x: bx,
+                    y: by,
+                    s: bs,
+                    stats: bstats,
+                });
+            }
+            return Err(Error::MaxIterations {
+                iterations: iter,
+                residual: b_res,
+            });
+        }
+
+        // Divergence heuristics.
+        let xnorm = inf_norm(&x);
+        if xnorm > 1e13 {
+            // Primal blowing up with dual residuals satisfied ⇒ unbounded;
+            // otherwise call it infeasible.
+            return Err(if stats.dual_residual < 1e-6 && stats.gap > 1.0 {
+                Error::Unbounded
+            } else {
+                Error::Infeasible
+            });
+        }
+        if inf_norm(&y) > 1e13 {
+            return Err(Error::Infeasible);
+        }
+
+        // Scaling matrix D = x/s (clamped).
+        for j in 0..n {
+            d[j] = (x[j] / s[j]).clamp(1e-10, 1e10);
+        }
+        let f = factor(&mut product, &d, &symbolic, base_reg)?;
+
+        // Shared closure: given complementarity rhs r3, solve the Newton
+        // system and return (Δx, Δy, Δs).
+        let newton = |r3: &[f64], f: &crate::linalg::LdlFactor| {
+            // rhs_y = −rb − A(S⁻¹ r3 + D rc)
+            let mut t = vec![0.0; n];
+            for j in 0..n {
+                t[j] = r3[j] / s[j] + d[j] * rc[j];
+            }
+            let at_rhs = a.mul_vec(&t);
+            let rhs: Vec<f64> = (0..m).map(|i| -rb[i] - at_rhs[i]).collect();
+            let mut dy = f.solve(&rhs);
+            // Iterative refinement on the (true, unregularized) normal
+            // equations, with the factored matrix as preconditioner. Stops
+            // when accurate enough or when refinement ceases to help.
+            {
+                let adat_dy = |v: &[f64]| {
+                    // A·D·Aᵀ·v computed matrix-free: A (d ∘ (Aᵀ v)).
+                    let atv = a.mul_transpose_vec(v);
+                    let scaled: Vec<f64> = (0..n).map(|j| d[j] * atv[j]).collect();
+                    a.mul_vec(&scaled)
+                };
+                let rhs_scale = 1.0 + inf_norm(&rhs);
+                let mut prev_res = f64::INFINITY;
+                for _ in 0..4 {
+                    let av = adat_dy(&dy);
+                    let resid: Vec<f64> = (0..m).map(|i| rhs[i] - av[i]).collect();
+                    let rnorm = inf_norm(&resid);
+                    if rnorm <= 1e-13 * rhs_scale || rnorm >= 0.5 * prev_res {
+                        break;
+                    }
+                    prev_res = rnorm;
+                    let corr = f.solve(&resid);
+                    for i in 0..m {
+                        dy[i] += corr[i];
+                    }
+                }
+            }
+            let atdy = a.mul_transpose_vec(&dy);
+            let ds_v: Vec<f64> = (0..n).map(|j| -rc[j] - atdy[j]).collect();
+            let dx_v: Vec<f64> = (0..n).map(|j| r3[j] / s[j] - x[j] / s[j] * ds_v[j]).collect();
+            (dx_v, dy, ds_v)
+        };
+
+        // Affine (predictor) step.
+        let r3_aff: Vec<f64> = (0..n).map(|j| -x[j] * s[j]).collect();
+        let (dxa, _dya, dsa) = newton(&r3_aff, &f);
+        let ap = max_step(&x, &dxa);
+        let ad = max_step(&s, &dsa);
+        let mu_aff = {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += (x[j] + ap * dxa[j]) * (s[j] + ad * dsa[j]);
+            }
+            acc / n as f64
+        };
+        let sigma = ((mu_aff / mu).powi(3)).clamp(0.0, 1.0);
+
+        // Corrector step.
+        let r3: Vec<f64> = (0..n)
+            .map(|j| sigma * mu - x[j] * s[j] - dxa[j] * dsa[j])
+            .collect();
+        let (dx_c, dy_c, ds_c) = newton(&r3, &f);
+
+        // Direction-quality safeguard: the Newton system demands
+        // A·Δx = −rb, but that is the one equation carrying factorization
+        // error (the dual equations hold identically by construction). When
+        // D spans many orders of magnitude near convergence, the error can
+        // be large; cap the *primal* step so the feasibility damage stays
+        // within a fraction of the current residual, and let the dual step
+        // proceed at full length.
+        let primal_cap = {
+            let adx = a.mul_vec(&dx_c);
+            let err = (0..m)
+                .map(|i| (adx[i] + rb[i]).abs())
+                .fold(0.0f64, f64::max);
+            let budget = (0.9 * inf_norm(&rb)).max(0.01 * opts.tol * (1.0 + norm_b));
+            if err > budget {
+                budget / err
+            } else {
+                1.0
+            }
+        };
+
+        let ap = (opts.step_scale * max_step(&x, &dx_c)).min(1.0).min(primal_cap);
+        let ad = (opts.step_scale * max_step(&s, &ds_c)).min(1.0);
+
+        for j in 0..n {
+            x[j] += ap * dx_c[j];
+            s[j] += ad * ds_c[j];
+        }
+        for i in 0..m {
+            y[i] += ad * dy_c[i];
+        }
+    }
+
+    Err(Error::MaxIterations {
+        iterations: opts.max_iters,
+        residual: stats
+            .primal_residual
+            .max(stats.dual_residual)
+            .max(stats.gap),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lp::{ConstraintSense, LpProblem};
+
+    #[test]
+    fn solves_small_lp() {
+        // min -x1 - 2 x2 s.t. x1 + x2 <= 4, x1 <= 3 → x = (0,4)? obj -8.
+        let mut lp = LpProblem::new();
+        let x1 = lp.add_var(-1.0);
+        let x2 = lp.add_var(-2.0);
+        lp.add_row(ConstraintSense::Le, 4.0, &[(x1, 1.0), (x2, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 3.0, &[(x1, 1.0)]);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective + 8.0).abs() < 1e-6, "obj = {}", sol.objective);
+        assert!(sol.x[1] > 3.9999);
+    }
+
+    #[test]
+    fn solves_equality_constrained_lp() {
+        // min x + y s.t. x + y = 2, x - y = 0 → x=y=1, obj 2.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Eq, 2.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(ConstraintSense::Eq, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-6);
+        assert!((sol.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 2 and x <= 1.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Ge, 2.0, &[(x, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 1.0, &[(x, 1.0)]);
+        let r = lp.solve();
+        assert!(r.is_err(), "expected failure, got {r:?}");
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x, x >= 1 (no upper bound).
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(-1.0);
+        lp.add_row(ConstraintSense::Ge, 1.0, &[(x, 1.0)]);
+        let r = lp.solve();
+        assert!(r.is_err(), "expected failure, got {r:?}");
+    }
+
+    #[test]
+    fn transportation_lp() {
+        // 2 supplies (3, 4), 2 demands (5, 2); cost matrix [[1,4],[2,1]].
+        // Optimal: s0→d0: 3, s1→d0: 2, s1→d1: 2 → 3 + 4 + 2 = 9.
+        let mut lp = LpProblem::new();
+        let x00 = lp.add_var(1.0);
+        let x01 = lp.add_var(4.0);
+        let x10 = lp.add_var(2.0);
+        let x11 = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Le, 3.0, &[(x00, 1.0), (x01, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 4.0, &[(x10, 1.0), (x11, 1.0)]);
+        lp.add_row(ConstraintSense::Ge, 5.0, &[(x00, 1.0), (x10, 1.0)]);
+        lp.add_row(ConstraintSense::Ge, 2.0, &[(x01, 1.0), (x11, 1.0)]);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 9.0).abs() < 1e-6, "obj = {}", sol.objective);
+    }
+
+    #[test]
+    fn duals_have_documented_signs() {
+        // min x s.t. x >= 2 → dual of the Ge row must be >= 0 (here 1).
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Ge, 2.0, &[(x, 1.0)]);
+        let sol = lp.solve().unwrap();
+        assert!((sol.duals[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_no_constraints() {
+        let mut lp = LpProblem::new();
+        lp.add_var(1.0);
+        lp.add_var(0.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn redundant_rows_are_tolerated() {
+        // Same row twice — normal equations are singular without
+        // regularization.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row(ConstraintSense::Ge, 2.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(ConstraintSense::Ge, 2.0, &[(x, 1.0), (y, 1.0)]);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moderately_sized_random_lp_agrees_with_simplex() {
+        // A structured assignment-like LP, solved by both methods.
+        let (nsrc, ndst) = (6, 7);
+        let mut lp = LpProblem::new();
+        let mut vars = vec![vec![0usize; ndst]; nsrc];
+        for (i, row) in vars.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = lp.add_var(((i * 7 + j * 3) % 5 + 1) as f64);
+            }
+        }
+        for (i, row) in vars.iter().enumerate() {
+            let terms: Vec<(usize, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_row(ConstraintSense::Ge, 1.0 + (i % 3) as f64, &terms);
+        }
+        for j in 0..ndst {
+            let terms: Vec<(usize, f64)> = (0..nsrc).map(|i| (vars[i][j], 1.0)).collect();
+            lp.add_row(ConstraintSense::Le, 3.0, &terms);
+        }
+        let ip = lp.solve().unwrap();
+        let sx = lp.solve_simplex().unwrap();
+        assert!(
+            (ip.objective - sx.objective).abs() < 1e-5,
+            "ipm {} vs simplex {}",
+            ip.objective,
+            sx.objective
+        );
+    }
+}

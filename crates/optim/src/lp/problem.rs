@@ -1,0 +1,278 @@
+//! Row-form linear program description and solutions.
+
+use crate::lp::{simplex, solve_ip, IpmOptions, StandardLp};
+use crate::Result;
+
+/// Sense of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintSense {
+    /// `a·x ≤ rhs`
+    Le,
+    /// `a·x ≥ rhs`
+    Ge,
+    /// `a·x = rhs`
+    Eq,
+}
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found to the requested tolerance.
+    Optimal,
+}
+
+/// A linear program over **nonnegative** variables:
+///
+/// ```text
+/// min  cᵀx    s.t.  aᵢ·x {≤,≥,=} bᵢ  for each row i,   x ≥ 0.
+/// ```
+///
+/// Rows are stored sparsely; build with [`LpProblem::add_var`] and
+/// [`LpProblem::add_row`], then call [`LpProblem::solve`] (interior point)
+/// or [`LpProblem::solve_simplex`] (dense simplex, small problems only).
+///
+/// # Example
+///
+/// ```
+/// use optim::lp::{ConstraintSense, LpProblem};
+///
+/// # fn main() -> Result<(), optim::Error> {
+/// // min x + 2y  s.t.  x + y >= 3, y <= 2, x,y >= 0  →  x=1, y=2 or x=3,y=0?
+/// // costs: x:1, y:2 → prefer x: x=3,y=0 gives 3; x=1,y=2 gives 5. Optimal 3.
+/// let mut lp = LpProblem::new();
+/// let x = lp.add_var(1.0);
+/// let y = lp.add_var(2.0);
+/// lp.add_row(ConstraintSense::Ge, 3.0, &[(x, 1.0), (y, 1.0)]);
+/// lp.add_row(ConstraintSense::Le, 2.0, &[(y, 1.0)]);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective - 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    costs: Vec<f64>,
+    row_cols: Vec<Vec<usize>>,
+    row_coefs: Vec<Vec<f64>>,
+    senses: Vec<ConstraintSense>,
+    rhs: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with no variables or rows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a nonnegative variable with objective coefficient `cost`,
+    /// returning its column index.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        self.costs.push(cost);
+        self.costs.len() - 1
+    }
+
+    /// Adds `n` variables sharing objective coefficient `cost`; returns the
+    /// index of the first.
+    pub fn add_vars(&mut self, n: usize, cost: f64) -> usize {
+        let first = self.costs.len();
+        self.costs.resize(first + n, cost);
+        first
+    }
+
+    /// Sets the objective coefficient of an existing variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_cost(&mut self, var: usize, cost: f64) {
+        self.costs[var] = cost;
+    }
+
+    /// Adds a constraint row `Σ coef·x[col] sense rhs`; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn add_row(&mut self, sense: ConstraintSense, rhs: f64, terms: &[(usize, f64)]) -> usize {
+        let mut cols = Vec::with_capacity(terms.len());
+        let mut coefs = Vec::with_capacity(terms.len());
+        for &(c, v) in terms {
+            assert!(c < self.costs.len(), "column {c} out of range");
+            if v != 0.0 {
+                cols.push(c);
+                coefs.push(v);
+            }
+        }
+        self.row_cols.push(cols);
+        self.row_coefs.push(coefs);
+        self.senses.push(sense);
+        self.rhs.push(rhs);
+        self.senses.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.senses.len()
+    }
+
+    /// Objective coefficients.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Row data: (sense, rhs, columns, coefficients).
+    pub fn row(&self, i: usize) -> (ConstraintSense, f64, &[usize], &[f64]) {
+        (
+            self.senses[i],
+            self.rhs[i],
+            &self.row_cols[i],
+            &self.row_coefs[i],
+        )
+    }
+
+    /// Objective value of a candidate point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "dimension mismatch");
+        self.costs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Maximum constraint violation of a candidate point (0.0 if feasible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "dimension mismatch");
+        let mut worst = 0.0f64;
+        for i in 0..self.num_rows() {
+            let lhs: f64 = self.row_cols[i]
+                .iter()
+                .zip(&self.row_coefs[i])
+                .map(|(&c, &a)| a * x[c])
+                .sum();
+            let v = match self.senses[i] {
+                ConstraintSense::Le => lhs - self.rhs[i],
+                ConstraintSense::Ge => self.rhs[i] - lhs,
+                ConstraintSense::Eq => (lhs - self.rhs[i]).abs(),
+            };
+            worst = worst.max(v);
+        }
+        for &xi in x {
+            worst = worst.max(-xi);
+        }
+        worst
+    }
+
+    /// Solves with the sparse interior-point method and default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (infeasibility, iteration limit, numerical
+    /// breakdown).
+    pub fn solve(&self) -> Result<LpSolution> {
+        self.solve_with(&IpmOptions::default())
+    }
+
+    /// Solves with the sparse interior-point method and explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn solve_with(&self, opts: &IpmOptions) -> Result<LpSolution> {
+        let std = StandardLp::from_problem(self);
+        let ip = solve_ip(&std, opts)?;
+        let x = std.extract_original(&ip.x);
+        let objective = self.objective_value(&x);
+        Ok(LpSolution {
+            x,
+            duals: ip.y,
+            objective,
+            status: LpStatus::Optimal,
+            iterations: ip.stats.iterations,
+        })
+    }
+
+    /// Solves with the dense two-phase simplex (cross-check oracle; intended
+    /// for small problems — cost grows as `O(rows · cols · iterations)` on a
+    /// dense tableau).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Infeasible`] / [`crate::Error::Unbounded`]
+    /// when detected.
+    pub fn solve_simplex(&self) -> Result<LpSolution> {
+        let std = StandardLp::from_problem(self);
+        let (x_std, _obj) = simplex::solve(&std)?;
+        let x = std.extract_original(&x_std);
+        let objective = self.objective_value(&x);
+        Ok(LpSolution {
+            x,
+            duals: vec![0.0; self.num_rows()],
+            objective,
+            status: LpStatus::Optimal,
+            iterations: 0,
+        })
+    }
+}
+
+/// Solution of an [`LpProblem`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal values of the original (non-slack) variables.
+    pub x: Vec<f64>,
+    /// Row duals in standard-form convention: `y_i ≥ 0` for binding `≥`
+    /// rows, `y_i ≤ 0` for binding `≤` rows, free for `=` rows. Zero vector
+    /// when produced by the simplex oracle.
+    pub duals: Vec<f64>,
+    /// Objective value `cᵀx`.
+    pub objective: f64,
+    /// Termination status.
+    pub status: LpStatus,
+    /// Interior-point iterations used (0 for simplex).
+    pub iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_and_violation_helpers() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(2.0);
+        let y = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Ge, 4.0, &[(x, 1.0), (y, 1.0)]);
+        assert_eq!(lp.objective_value(&[1.0, 2.0]), 4.0);
+        assert_eq!(lp.max_violation(&[1.0, 2.0]), 1.0);
+        assert_eq!(lp.max_violation(&[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn add_vars_block() {
+        let mut lp = LpProblem::new();
+        let first = lp.add_vars(3, 5.0);
+        assert_eq!(first, 0);
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.costs(), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped_from_rows() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        let r = lp.add_row(ConstraintSense::Eq, 1.0, &[(x, 0.0), (y, 2.0)]);
+        let (_, _, cols, coefs) = lp.row(r);
+        assert_eq!(cols, &[y]);
+        assert_eq!(coefs, &[2.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Dense two-phase primal simplex.
+//!
+//! An intentionally simple, independent implementation used to cross-check
+//! the interior-point solver on small problems (tests, the Figure-1 toy
+//! examples). Uses Bland's rule, which is immune to cycling.
+
+use crate::lp::StandardLp;
+use crate::{Error, Result};
+
+const EPS: f64 = 1e-9;
+
+/// Solves the standard-form LP `min cᵀx, Ax=b, x≥0` by the two-phase dense
+/// simplex method. Returns `(x, objective)`.
+///
+/// # Errors
+///
+/// * [`Error::Infeasible`] if phase 1 terminates with positive artificial
+///   weight.
+/// * [`Error::Unbounded`] if a pivot column has no positive entries.
+pub fn solve(std_lp: &StandardLp) -> Result<(Vec<f64>, f64)> {
+    let m = std_lp.nrows();
+    let n = std_lp.ncols();
+    if m == 0 {
+        if std_lp.c.iter().any(|&cj| cj < -EPS) {
+            return Err(Error::Unbounded);
+        }
+        return Ok((vec![0.0; n], 0.0));
+    }
+
+    // Dense tableau: rows 0..m are constraints over n + m columns (original
+    // plus artificials), with the rhs in the final column.
+    let width = n + m + 1;
+    let mut t = vec![0.0f64; m * width];
+    let dense = std_lp.a.to_dense();
+    for i in 0..m {
+        let flip = if std_lp.b[i] < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i * width + j] = flip * dense[i][j];
+        }
+        t[i * width + n + i] = 1.0; // artificial
+        t[i * width + n + m] = flip * std_lp.b[i];
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase 1: minimize the sum of artificials.
+    let phase1_cost: Vec<f64> = (0..n + m).map(|j| if j >= n { 1.0 } else { 0.0 }).collect();
+    run_simplex(&mut t, &mut basis, m, n + m, &phase1_cost)?;
+    let p1_obj = objective_of(&t, &basis, m, n + m, &phase1_cost);
+    if p1_obj > 1e-7 {
+        return Err(Error::Infeasible);
+    }
+    // Pivot remaining artificials out of the basis where possible.
+    for i in 0..m {
+        if basis[i] >= n {
+            let mut pivoted = false;
+            for j in 0..n {
+                if t[i * width + j].abs() > 1e-7 {
+                    pivot(&mut t, &mut basis, m, i, j);
+                    pivoted = true;
+                    break;
+                }
+            }
+            if !pivoted {
+                // Redundant row; the artificial stays basic at value ~0.
+                // Zero it out so it cannot re-enter phase 2 arithmetic.
+                t[i * width + n + m] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: original objective; artificial columns are barred by giving
+    // them an effectively infinite cost.
+    let mut phase2_cost = vec![0.0f64; n + m];
+    phase2_cost[..n].copy_from_slice(&std_lp.c);
+    for cj in phase2_cost.iter_mut().skip(n) {
+        *cj = 1e30;
+    }
+    run_simplex(&mut t, &mut basis, m, n + m, &phase2_cost)?;
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i * width + n + m];
+        }
+    }
+    let obj: f64 = std_lp.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok((x, obj))
+}
+
+fn objective_of(t: &[f64], basis: &[usize], m: usize, ncols: usize, cost: &[f64]) -> f64 {
+    let width = ncols + 1;
+    (0..m).map(|i| cost[basis[i]] * t[i * width + ncols]).sum()
+}
+
+fn pivot(t: &mut [f64], basis: &mut [usize], m: usize, row: usize, col: usize) {
+    let width = t.len() / m;
+    let piv = t[row * width + col];
+    debug_assert!(piv.abs() > 1e-12, "pivot too small");
+    for j in 0..width {
+        t[row * width + j] /= piv;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = t[i * width + col];
+        if factor != 0.0 {
+            for j in 0..width {
+                t[i * width + j] -= factor * t[row * width + j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Runs primal simplex iterations with Bland's rule until optimality.
+fn run_simplex(
+    t: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    ncols: usize,
+    cost: &[f64],
+) -> Result<()> {
+    let width = ncols + 1;
+    let max_pivots = 50_000usize;
+    for _ in 0..max_pivots {
+        // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j (tableau is already B⁻¹A).
+        let mut enter = None;
+        for j in 0..ncols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * t[i * width + j];
+            }
+            if r < -EPS {
+                enter = Some(j); // Bland: first improving column
+                break;
+            }
+        }
+        let Some(col) = enter else {
+            return Ok(()); // optimal
+        };
+        // Ratio test (Bland: smallest basis index among ties).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let aij = t[i * width + col];
+            if aij > EPS {
+                let ratio = t[i * width + ncols] / aij;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_none_or(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio.min(best_ratio);
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return Err(Error::Unbounded);
+        };
+        pivot(t, basis, m, row, col);
+    }
+    Err(Error::MaxIterations {
+        iterations: max_pivots,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lp::{ConstraintSense, LpProblem};
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2,6), obj 36.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(-3.0);
+        let y = lp.add_var(-5.0);
+        lp.add_row(ConstraintSense::Le, 4.0, &[(x, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 12.0, &[(y, 2.0)]);
+        lp.add_row(ConstraintSense::Le, 18.0, &[(x, 3.0), (y, 2.0)]);
+        let sol = lp.solve_simplex().unwrap();
+        assert!((sol.objective + 36.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase1_detects_infeasible() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0);
+        lp.add_row(ConstraintSense::Ge, 5.0, &[(x, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 3.0, &[(x, 1.0)]);
+        assert!(lp.solve_simplex().is_err());
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(-1.0);
+        lp.add_row(ConstraintSense::Ge, 0.0, &[(x, 1.0)]);
+        assert!(lp.solve_simplex().is_err());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj 24.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(2.0);
+        let y = lp.add_var(3.0);
+        lp.add_row(ConstraintSense::Eq, 10.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(ConstraintSense::Eq, 2.0, &[(x, 1.0), (y, -1.0)]);
+        let sol = lp.solve_simplex().unwrap();
+        assert!((sol.objective - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_does_not_cycle() {
+        // Classic degenerate example; Bland's rule must terminate.
+        let mut lp = LpProblem::new();
+        let x1 = lp.add_var(-0.75);
+        let x2 = lp.add_var(150.0);
+        let x3 = lp.add_var(-0.02);
+        let x4 = lp.add_var(6.0);
+        lp.add_row(
+            ConstraintSense::Le,
+            0.0,
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        );
+        lp.add_row(
+            ConstraintSense::Le,
+            0.0,
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        );
+        lp.add_row(ConstraintSense::Le, 1.0, &[(x3, 1.0)]);
+        let sol = lp.solve_simplex().unwrap();
+        assert!((sol.objective + 0.05).abs() < 1e-9, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Le, -3.0, &[(x, -1.0)]);
+        let sol = lp.solve_simplex().unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Eq, 2.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(ConstraintSense::Eq, 4.0, &[(x, 2.0), (y, 2.0)]);
+        let sol = lp.solve_simplex().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Conversion of row-form LPs to equality standard form.
+
+use crate::lp::{ConstraintSense, LpProblem};
+use crate::sparse::{CscMatrix, Triplets};
+
+/// An LP in equality standard form:
+///
+/// ```text
+/// min cᵀx   s.t.  A x = b,  x ≥ 0
+/// ```
+///
+/// produced from an [`LpProblem`] by appending one slack (`≤`) or surplus
+/// (`≥`) column per inequality row. Row `i` of `A` corresponds one-to-one to
+/// row `i` of the source problem.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Constraint matrix, `m × n` (n includes slack columns).
+    pub a: CscMatrix,
+    /// Right-hand side, length `m`.
+    pub b: Vec<f64>,
+    /// Objective, length `n` (zero on slack columns).
+    pub c: Vec<f64>,
+    /// Number of original (non-slack) variables.
+    pub num_original: usize,
+}
+
+impl StandardLp {
+    /// Builds the standard form of `p`.
+    pub fn from_problem(p: &LpProblem) -> Self {
+        let m = p.num_rows();
+        let n0 = p.num_vars();
+        let mut nslack = 0usize;
+        for i in 0..m {
+            if p.row(i).0 != ConstraintSense::Eq {
+                nslack += 1;
+            }
+        }
+        let n = n0 + nslack;
+        let nnz_estimate: usize = (0..m).map(|i| p.row(i).2.len()).sum::<usize>() + nslack;
+        let mut t = Triplets::with_capacity(m, n, nnz_estimate);
+        let mut b = Vec::with_capacity(m);
+        let mut slack = n0;
+        for i in 0..m {
+            let (sense, rhs, cols, coefs) = p.row(i);
+            for (&cidx, &v) in cols.iter().zip(coefs) {
+                t.push(i, cidx, v);
+            }
+            match sense {
+                ConstraintSense::Le => {
+                    t.push(i, slack, 1.0);
+                    slack += 1;
+                }
+                ConstraintSense::Ge => {
+                    t.push(i, slack, -1.0);
+                    slack += 1;
+                }
+                ConstraintSense::Eq => {}
+            }
+            b.push(rhs);
+        }
+        let mut c = vec![0.0; n];
+        c[..n0].copy_from_slice(p.costs());
+        StandardLp {
+            a: t.to_csc(),
+            b,
+            c,
+            num_original: n0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Number of columns (including slacks).
+    pub fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    /// Strips slack components from a standard-form point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols()`.
+    pub fn extract_original(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols(), "dimension mismatch");
+        x[..self.num_original].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_columns_have_correct_signs() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Le, 5.0, &[(x, 2.0)]);
+        lp.add_row(ConstraintSense::Ge, 1.0, &[(x, 1.0)]);
+        lp.add_row(ConstraintSense::Eq, 3.0, &[(x, 3.0)]);
+        let s = StandardLp::from_problem(&lp);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3); // x + 2 slacks
+        assert_eq!(s.a.get(0, 1), 1.0); // Le slack
+        assert_eq!(s.a.get(1, 2), -1.0); // Ge surplus
+        assert_eq!(s.c, vec![1.0, 0.0, 0.0]);
+        assert_eq!(s.b, vec![5.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn extract_original_strips_slacks() {
+        let mut lp = LpProblem::new();
+        lp.add_var(1.0);
+        lp.add_row(ConstraintSense::Le, 1.0, &[(0, 1.0)]);
+        let s = StandardLp::from_problem(&lp);
+        assert_eq!(s.extract_original(&[0.25, 0.75]), vec![0.25]);
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`Model`] builder and its [`Solution`].
+
+use crate::lp::{ConstraintSense, IpmOptions, LpProblem};
+use crate::model::{LinExpr, Var};
+use crate::Result;
+use std::ops::Index;
+
+/// An LP model under construction: nonnegative variables, a linear
+/// objective, and `≤ / ≥ / =` constraints built from [`LinExpr`]s.
+///
+/// See the [module docs](crate::model) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    lp: LpProblem,
+    names: Vec<String>,
+    objective_constant: f64,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a nonnegative variable with the given debug name.
+    pub fn var(&mut self, name: impl Into<String>) -> Var {
+        let idx = self.lp.add_var(0.0);
+        self.names.push(name.into());
+        Var(idx)
+    }
+
+    /// Adds `n` nonnegative variables named `prefix[0..n)`.
+    pub fn vars(&mut self, n: usize, prefix: &str) -> Vec<Var> {
+        (0..n).map(|i| self.var(format!("{prefix}[{i}]"))).collect()
+    }
+
+    /// Sets the objective to `min expr`. Constant parts are carried through
+    /// to [`Solution::objective`]. Replaces any previous objective.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        for j in 0..self.lp.num_vars() {
+            self.lp.set_cost(j, 0.0);
+        }
+        for (c, v) in expr.combined_terms() {
+            self.lp.set_cost(c, v);
+        }
+        self.objective_constant = expr.constant_part();
+    }
+
+    /// Sets the objective to `max expr` (minimizes the negation).
+    pub fn maximize(&mut self, expr: LinExpr) {
+        self.minimize(-expr);
+        // Note: Solution::objective reports the *minimized* value; callers
+        // maximizing should negate. Documented on `maximize`.
+    }
+
+    /// Adds `expr ≤ rhs`. Returns the row index.
+    pub fn leq(&mut self, expr: LinExpr, rhs: f64) -> usize {
+        self.add(ConstraintSense::Le, expr, rhs)
+    }
+
+    /// Adds `expr ≥ rhs`. Returns the row index.
+    pub fn geq(&mut self, expr: LinExpr, rhs: f64) -> usize {
+        self.add(ConstraintSense::Ge, expr, rhs)
+    }
+
+    /// Adds `expr = rhs`. Returns the row index.
+    pub fn eq(&mut self, expr: LinExpr, rhs: f64) -> usize {
+        self.add(ConstraintSense::Eq, expr, rhs)
+    }
+
+    fn add(&mut self, sense: ConstraintSense, expr: LinExpr, rhs: f64) -> usize {
+        let terms = expr.combined_terms();
+        self.lp.add_row(sense, rhs - expr.constant_part(), &terms)
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lp.num_vars()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.lp.num_rows()
+    }
+
+    /// Access to the underlying row-form problem.
+    pub fn problem(&self) -> &LpProblem {
+        &self.lp
+    }
+
+    /// Solves with the interior-point method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (infeasibility, unboundedness, limits).
+    pub fn solve(&self) -> Result<Solution> {
+        self.solve_with(&IpmOptions::default())
+    }
+
+    /// Solves with explicit interior-point options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn solve_with(&self, opts: &IpmOptions) -> Result<Solution> {
+        let s = self.lp.solve_with(opts)?;
+        Ok(Solution {
+            values: s.x,
+            objective: s.objective + self.objective_constant,
+            duals: s.duals,
+        })
+    }
+
+    /// Solves with the dense simplex oracle (small models only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn solve_simplex(&self) -> Result<Solution> {
+        let s = self.lp.solve_simplex()?;
+        Ok(Solution {
+            values: s.x,
+            objective: s.objective + self.objective_constant,
+            duals: s.duals,
+        })
+    }
+}
+
+/// A solved model: index it with a [`Var`] to read values.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    /// The objective value (including any constant part of the expression).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// All variable values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row duals (see [`crate::lp::LpSolution::duals`] for the convention).
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+impl Index<Var> for Solution {
+    type Output = f64;
+    fn index(&self, v: Var) -> &f64 {
+        &self.values[v.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_solves_and_indexes() {
+        let mut m = Model::new();
+        let x = m.var("x");
+        let y = m.var("y");
+        m.minimize(1.0 * x + 1.0 * y + 10.0);
+        m.geq(1.0 * x + 2.0 * y, 4.0);
+        let sol = m.solve().unwrap();
+        // Cheapest way to satisfy x + 2y >= 4 at unit costs: y = 2.
+        assert!((sol[y] - 2.0).abs() < 1e-5);
+        assert!((sol.objective() - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constants_in_constraints_are_moved_to_rhs() {
+        let mut m = Model::new();
+        let x = m.var("x");
+        m.minimize(1.0 * x);
+        // x + 1 >= 3  ⇔  x >= 2
+        m.geq(1.0 * x + 1.0, 3.0);
+        let sol = m.solve().unwrap();
+        assert!((sol[x] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simplex_and_ipm_agree() {
+        let mut m = Model::new();
+        let v = m.vars(4, "v");
+        m.minimize(1.0 * v[0] + 2.0 * v[1] + 3.0 * v[2] + 4.0 * v[3]);
+        m.geq(
+            1.0 * v[0] + 1.0 * v[1] + 1.0 * v[2] + 1.0 * v[3],
+            10.0,
+        );
+        m.leq(1.0 * v[0], 4.0);
+        let a = m.solve().unwrap();
+        let b = m.solve_simplex().unwrap();
+        assert!((a.objective() - b.objective()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn names_are_tracked() {
+        let mut m = Model::new();
+        let x = m.var("hello");
+        assert_eq!(m.name(x), "hello");
+        let vs = m.vars(2, "w");
+        assert_eq!(m.name(vs[1]), "w[1]");
+    }
+}

@@ -1,0 +1,240 @@
+//! Linear expressions over model variables.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A handle to a nonnegative decision variable created by
+/// [`crate::model::Model::var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The variable's column index in the underlying LP.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression `Σ coefᵢ·xᵢ + constant`.
+///
+/// Built with ordinary arithmetic: `2.0 * x + 3.0 * y - 1.0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coef · var` to the expression (builder style).
+    pub fn add_term(&mut self, var: Var, coef: f64) -> &mut Self {
+        if coef != 0.0 {
+            self.terms.push((var.0, coef));
+        }
+        self
+    }
+
+    /// The constant offset.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// The variable terms as `(column, coefficient)` pairs (not combined).
+    pub fn terms(&self) -> &[(usize, f64)] {
+        &self.terms
+    }
+
+    /// Collapses duplicate variables, returning combined `(col, coef)` pairs.
+    pub fn combined_terms(&self) -> Vec<(usize, f64)> {
+        let mut sorted = self.terms.clone();
+        sorted.sort_unstable_by_key(|&(c, _)| c);
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(sorted.len());
+        for (c, v) in sorted {
+            match out.last_mut() {
+                Some((lc, lv)) if *lc == c => *lv += v,
+                _ => out.push((c, v)),
+            }
+        }
+        out.retain(|&(_, v)| v != 0.0);
+        out
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr {
+            terms: vec![(v.0, 1.0)],
+            constant: 0.0,
+        }
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: Var) -> LinExpr {
+        LinExpr {
+            terms: vec![(v.0, self)],
+            constant: 0.0,
+        }
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, v: Var) -> LinExpr {
+        self.terms.push((v.0, 1.0));
+        self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, k: f64) -> LinExpr {
+        self.constant += k;
+        self
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, e: LinExpr) -> LinExpr {
+        e + self
+    }
+}
+
+impl Add<Var> for Var {
+    type Output = LinExpr;
+    fn add(self, other: Var) -> LinExpr {
+        LinExpr {
+            terms: vec![(self.0, 1.0), (other.0, 1.0)],
+            constant: 0.0,
+        }
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, v: Var) -> LinExpr {
+        self.terms.push((v.0, -1.0));
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, k: f64) -> LinExpr {
+        self.constant -= k;
+        self
+    }
+}
+
+impl Sub<Var> for Var {
+    type Output = LinExpr;
+    fn sub(self, other: Var) -> LinExpr {
+        LinExpr {
+            terms: vec![(self.0, 1.0), (other.0, -1.0)],
+            constant: 0.0,
+        }
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::zero(), |acc, e| acc + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_builds_expected_terms() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x + 3.0 * y - 1.0;
+        assert_eq!(e.combined_terms(), vec![(0, 2.0), (1, 3.0)]);
+        assert_eq!(e.constant_part(), -1.0);
+    }
+
+    #[test]
+    fn duplicates_are_combined() {
+        let x = Var(0);
+        let e = 2.0 * x + 3.0 * x;
+        assert_eq!(e.combined_terms(), vec![(0, 5.0)]);
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        let x = Var(0);
+        let e = 2.0 * x - 2.0 * x;
+        assert!(e.combined_terms().is_empty());
+    }
+
+    #[test]
+    fn sum_of_expressions() {
+        let vars = [Var(0), Var(1), Var(2)];
+        let e: LinExpr = vars.iter().map(|&v| 1.0 * v).sum();
+        assert_eq!(e.combined_terms().len(), 3);
+    }
+
+    #[test]
+    fn scaling_affects_constant() {
+        let x = Var(0);
+        let e = (1.0 * x + 4.0) * 0.5;
+        assert_eq!(e.constant_part(), 2.0);
+        assert_eq!(e.combined_terms(), vec![(0, 0.5)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! A small LP modeling layer ("Pyomo-lite").
+//!
+//! Build linear programs from named variables and natural expression syntax,
+//! then solve with the interior-point method or the simplex oracle:
+//!
+//! ```
+//! use optim::model::Model;
+//!
+//! # fn main() -> Result<(), optim::Error> {
+//! let mut m = Model::new();
+//! let x = m.var("x");
+//! let y = m.var("y");
+//! m.minimize(2.0 * x + 3.0 * y);
+//! m.geq(1.0 * x + 1.0 * y, 4.0);
+//! m.leq(1.0 * x, 3.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective() - 9.0).abs() < 1e-6); // x=3, y=1
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod expr;
+
+pub use builder::{Model, Solution};
+pub use expr::{LinExpr, Var};

@@ -1,0 +1,335 @@
+//! Compressed-sparse-column matrices.
+
+use std::fmt;
+
+/// An immutable sparse matrix in compressed-sparse-column (CSC) format.
+///
+/// Row indices within each column are sorted and unique. Construct via
+/// [`crate::sparse::Triplets`] or [`CscMatrix::from_raw_parts`].
+///
+/// # Example
+///
+/// ```
+/// use optim::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2, 3);
+/// t.push(0, 0, 1.0);
+/// t.push(1, 1, 2.0);
+/// t.push(0, 2, 3.0);
+/// let a = t.to_csc();
+/// let y = a.mul_vec(&[1.0, 1.0, 1.0]);
+/// assert_eq!(y, vec![4.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a matrix from raw CSC arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are structurally inconsistent (wrong `colptr`
+    /// length, non-monotone `colptr`, row index out of range, or unsorted /
+    /// duplicate rows within a column).
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowind: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(colptr.len(), ncols + 1, "colptr must have ncols+1 entries");
+        assert_eq!(colptr[0], 0, "colptr must start at 0");
+        assert_eq!(
+            *colptr.last().unwrap(),
+            rowind.len(),
+            "colptr must end at nnz"
+        );
+        assert_eq!(rowind.len(), values.len(), "rowind/values length mismatch");
+        for c in 0..ncols {
+            assert!(colptr[c] <= colptr[c + 1], "colptr must be non-decreasing");
+            let mut prev = usize::MAX;
+            for p in colptr[c]..colptr[c + 1] {
+                let r = rowind[p];
+                assert!(r < nrows, "row index {r} out of bounds");
+                assert!(
+                    prev == usize::MAX || r > prev,
+                    "rows must be strictly increasing within a column"
+                );
+                prev = r;
+            }
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowind,
+            values,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowind: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices, column-major.
+    pub fn rowind(&self) -> &[usize] {
+        &self.rowind
+    }
+
+    /// Stored values, column-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (pattern is immutable).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The (row indices, values) slices of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    pub fn col(&self, c: usize) -> (&[usize], &[f64]) {
+        let range = self.colptr[c]..self.colptr[c + 1];
+        (&self.rowind[range.clone()], &self.values[range])
+    }
+
+    /// Value at `(row, col)`, 0.0 if not stored. O(log nnz-in-column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        let (rows, vals) = self.col(col);
+        match rows.binary_search(&row) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch in mul_vec");
+        let mut y = vec![0.0; self.nrows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// `y += A x` accumulated into a caller-provided buffer (not cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch in mul_vec_acc");
+        assert_eq!(y.len(), self.nrows, "dimension mismatch in mul_vec_acc");
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                y[self.rowind[p]] += self.values[p] * xc;
+            }
+        }
+    }
+
+    /// `y = A x` into a caller-provided buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        self.mul_vec_acc(x, y);
+    }
+
+    /// Dense product with the transpose: `y = Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "dimension mismatch in mul_transpose_vec");
+        let mut y = vec![0.0; self.ncols];
+        for c in 0..self.ncols {
+            let mut acc = 0.0;
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                acc += self.values[p] * x[self.rowind[p]];
+            }
+            y[c] = acc;
+        }
+        y
+    }
+
+    /// The transpose as a new CSC matrix.
+    pub fn transpose(&self) -> CscMatrix {
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowind {
+            colptr[r + 1] += 1;
+        }
+        for r in 0..self.nrows {
+            colptr[r + 1] += colptr[r];
+        }
+        let mut rowind = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = colptr.clone();
+        for c in 0..self.ncols {
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowind[p];
+                let q = next[r];
+                rowind[q] = c;
+                values[q] = self.values[p];
+                next[r] += 1;
+            }
+        }
+        // Row indices of the transpose are automatically sorted because we
+        // sweep source columns in increasing order.
+        CscMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            colptr,
+            rowind,
+            values,
+        }
+    }
+
+    /// Converts to a dense row-major `Vec<Vec<f64>>` (for tests/debugging).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for c in 0..self.ncols {
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                d[self.rowind[p]][c] = self.values[p];
+            }
+        }
+        d
+    }
+
+    /// Maximum absolute value of stored entries (0.0 when empty).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Debug for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix {}x{} ({} nnz)",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    fn sample() -> CscMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 4.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 2.0);
+        t.push(2, 2, 5.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn identity() {
+        let i = CscMatrix::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mul_vec() {
+        let a = sample();
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn mul_transpose_vec() {
+        let a = sample();
+        assert_eq!(a.mul_transpose_vec(&[1.0, 1.0, 1.0]), vec![5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let a = sample();
+        let at = a.transpose();
+        let d = a.to_dense();
+        let dt = at.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[i][j], dt[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let a = sample();
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn max_abs() {
+        let a = sample();
+        assert_eq!(a.max_abs(), 5.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Sparse matrix types and kernels.
+//!
+//! The interior-point solvers in this crate work with matrices in
+//! compressed-sparse-column ([`CscMatrix`]) form. Matrices are assembled
+//! incrementally in coordinate form with [`Triplets`] and converted once.
+//! [`ops`] provides the symmetric products (`A·D·Aᵀ`) that dominate
+//! interior-point iteration cost.
+
+mod csc;
+pub mod ops;
+mod triplet;
+
+pub use csc::CscMatrix;
+pub use triplet::Triplets;

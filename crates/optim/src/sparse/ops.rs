@@ -1,0 +1,208 @@
+//! Symmetric sparse products for interior-point normal equations.
+
+use crate::sparse::CscMatrix;
+
+/// Precomputed symbolic structure for the product `S = A·D·Aᵀ + δI`
+/// (lower triangle, including the diagonal), where `D` is a changing
+/// diagonal matrix and the pattern of `A` is fixed.
+///
+/// Interior-point methods recompute this product at every iteration with a
+/// new `D`; splitting the symbolic analysis (pattern union) from the numeric
+/// fill makes the per-iteration cost proportional to the flop count only.
+///
+/// # Example
+///
+/// ```
+/// use optim::sparse::{Triplets, ops::NormalEqProduct};
+///
+/// let mut t = Triplets::new(2, 3);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 1, 1.0);
+/// t.push(1, 1, 1.0);
+/// t.push(1, 2, 2.0);
+/// let a = t.to_csc();
+/// let mut p = NormalEqProduct::new(&a);
+/// let s = p.compute(&[1.0, 1.0, 1.0], 0.0);
+/// // S = A Aᵀ = [[2, 1], [1, 5]] (lower triangle stored)
+/// assert_eq!(s.get(0, 0), 2.0);
+/// assert_eq!(s.get(1, 0), 1.0);
+/// assert_eq!(s.get(1, 1), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalEqProduct {
+    /// Aᵀ in CSC form: column j holds row j of A.
+    at: CscMatrix,
+    /// A itself (columns used for scatter).
+    a: CscMatrix,
+    /// Lower-triangular pattern of S with a value buffer reused across calls.
+    s: CscMatrix,
+}
+
+impl NormalEqProduct {
+    /// Performs the symbolic analysis of `A·Aᵀ` for matrix `a`.
+    ///
+    /// The diagonal is always structurally present so that the `δI`
+    /// regularizer can be added even for empty rows.
+    pub fn new(a: &CscMatrix) -> Self {
+        let m = a.nrows();
+        let at = a.transpose();
+        let mut colptr = vec![0usize; m + 1];
+        let mut rowind: Vec<usize> = Vec::new();
+        let mut mark = vec![usize::MAX; m];
+        // Column j of S (lower triangle): union over k in nz(row j of A) of
+        // { i in nz(A[:,k]) : i >= j }.
+        for j in 0..m {
+            // Diagonal always present.
+            mark[j] = j;
+            let col_start = rowind.len();
+            rowind.push(j);
+            let (ks, _) = at.col(j);
+            for &k in ks {
+                let (is, _) = a.col(k);
+                // Rows are sorted; skip those < j.
+                let lo = is.partition_point(|&i| i < j);
+                for &i in &is[lo..] {
+                    if mark[i] != j {
+                        mark[i] = j;
+                        rowind.push(i);
+                    }
+                }
+            }
+            rowind[col_start..].sort_unstable();
+            colptr[j + 1] = rowind.len();
+        }
+        let values = vec![0.0; rowind.len()];
+        let s = CscMatrix::from_raw_parts(m, m, colptr, rowind, values);
+        NormalEqProduct {
+            at,
+            a: a.clone(),
+            s,
+        }
+    }
+
+    /// Number of rows/cols of the product matrix.
+    pub fn dim(&self) -> usize {
+        self.s.nrows()
+    }
+
+    /// The lower-triangular pattern of `S` (values from the latest
+    /// [`NormalEqProduct::compute`] call, or zeros).
+    pub fn pattern(&self) -> &CscMatrix {
+        &self.s
+    }
+
+    /// Computes `S = A·diag(d)·Aᵀ + reg·I` numerically, returning the
+    /// lower-triangular result. The returned reference borrows an internal
+    /// buffer that is overwritten by the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != A.ncols()`.
+    pub fn compute(&mut self, d: &[f64], reg: f64) -> &CscMatrix {
+        assert_eq!(d.len(), self.a.ncols(), "diagonal length mismatch");
+        let m = self.s.nrows();
+        let mut work = vec![0.0f64; m];
+        // Zero all values first.
+        self.s.values_mut().fill(0.0);
+        for j in 0..m {
+            // Accumulate column j of S into the dense workspace.
+            let (ks, ajk) = self.at.col(j);
+            for (idx, &k) in ks.iter().enumerate() {
+                let scale = ajk[idx] * d[k];
+                if scale == 0.0 {
+                    continue;
+                }
+                let (is, aik) = self.a.col(k);
+                let lo = is.partition_point(|&i| i < j);
+                for (off, &i) in is[lo..].iter().enumerate() {
+                    work[i] += scale * aik[lo + off];
+                }
+            }
+            work[j] += reg;
+            // Gather into the fixed pattern.
+            let start = self.s.colptr()[j];
+            let end = self.s.colptr()[j + 1];
+            for p in start..end {
+                let i = self.s.rowind()[p];
+                self.s.values_mut()[p] = work[i];
+                work[i] = 0.0;
+            }
+        }
+        &self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    fn dense_adat(a: &CscMatrix, d: &[f64], reg: f64) -> Vec<Vec<f64>> {
+        let m = a.nrows();
+        let n = a.ncols();
+        let ad = a.to_dense();
+        let mut s = vec![vec![0.0; m]; m];
+        for i in 0..m {
+            for j in 0..m {
+                for k in 0..n {
+                    s[i][j] += ad[i][k] * d[k] * ad[j][k];
+                }
+            }
+            s[i][i] += reg;
+        }
+        s
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let mut t = Triplets::new(3, 4);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, -2.0);
+        t.push(1, 1, 3.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 3, 4.0);
+        t.push(2, 0, 0.5);
+        let a = t.to_csc();
+        let d = [2.0, 1.0, 0.5, 3.0];
+        let mut p = NormalEqProduct::new(&a);
+        let s = p.compute(&d, 0.25);
+        let reference = dense_adat(&a, &d, 0.25);
+        for i in 0..3 {
+            for j in 0..=i {
+                assert!(
+                    (s.get(i, j) - reference[i][j]).abs() < 1e-12,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    s.get(i, j),
+                    reference[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_with_new_diagonal() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csc();
+        let mut p = NormalEqProduct::new(&a);
+        let s1 = p.compute(&[1.0, 1.0], 0.0);
+        assert_eq!(s1.get(1, 1), 2.0);
+        let s2 = p.compute(&[2.0, 3.0], 0.0);
+        assert_eq!(s2.get(0, 0), 2.0);
+        assert_eq!(s2.get(1, 0), 2.0);
+        assert_eq!(s2.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn empty_row_gets_regularizer() {
+        // Row 1 of A is empty; diagonal must still exist for the regularizer.
+        let mut t = Triplets::new(2, 1);
+        t.push(0, 0, 1.0);
+        let a = t.to_csc();
+        let mut p = NormalEqProduct::new(&a);
+        let s = p.compute(&[1.0], 1e-8);
+        assert!(s.get(1, 1) > 0.0);
+    }
+}

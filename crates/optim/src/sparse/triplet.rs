@@ -1,0 +1,202 @@
+//! Coordinate-form (COO) matrix assembly.
+
+use crate::sparse::CscMatrix;
+
+/// An incrementally built sparse matrix in coordinate form.
+///
+/// Duplicate entries are allowed and are summed when converting to CSC with
+/// [`Triplets::to_csc`], matching the convention of most sparse toolkits.
+///
+/// # Example
+///
+/// ```
+/// use optim::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(1, 1, 2.0);
+/// t.push(1, 1, 3.0); // duplicates are summed
+/// let a = t.to_csc();
+/// assert_eq!(a.get(1, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Triplets {
+    /// Creates an empty assembler for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Triplets {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an assembler with preallocated capacity for `nnz` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        Triplets {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows of the assembled matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the assembled matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of entries pushed so far (duplicates counted individually).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Returns `true` when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Records `value` at `(row, col)`. Zero values are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row},{col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        if value != 0.0 {
+            self.rows.push(row);
+            self.cols.push(col);
+            self.vals.push(value);
+        }
+    }
+
+    /// Converts to compressed-sparse-column form, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        // Count entries per column.
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            colptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        // Scatter.
+        let nnz = self.vals.len();
+        let mut rowind = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = colptr.clone();
+        for k in 0..nnz {
+            let c = self.cols[k];
+            let p = next[c];
+            rowind[p] = self.rows[k];
+            values[p] = self.vals[k];
+            next[c] += 1;
+        }
+        // Sort rows within each column and sum duplicates.
+        let mut out_colptr = vec![0usize; self.ncols + 1];
+        let mut out_rowind = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..self.ncols {
+            scratch.clear();
+            for p in colptr[c]..colptr[c + 1] {
+                scratch.push((rowind[p], values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == r {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    out_rowind.push(r);
+                    out_values.push(v);
+                }
+                i = j;
+            }
+            out_colptr[c + 1] = out_rowind.len();
+        }
+        CscMatrix::from_raw_parts(self.nrows, self.ncols, out_colptr, out_rowind, out_values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let t = Triplets::new(3, 4);
+        assert!(t.is_empty());
+        let a = t.to_csc();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 4);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.5);
+        t.push(0, 1, 2.5);
+        t.push(1, 0, -1.0);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 0.0);
+        t.push(1, 1, 1.0);
+        t.push(1, 1, -1.0); // cancels to zero
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = Triplets::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut t = Triplets::new(4, 1);
+        t.push(3, 0, 3.0);
+        t.push(1, 0, 1.0);
+        t.push(2, 0, 2.0);
+        let a = t.to_csc();
+        let (rows, vals) = a.col(0);
+        assert_eq!(rows, &[1, 2, 3]);
+        assert_eq!(vals, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests of the solver substrate: the interior-point method
+//! against the independent simplex oracle on random feasible LPs, sparse
+//! LDLᵀ against dense reference solves, and the Woodbury solver against
+//! dense LU.
+
+use optim::convex::DiagPlusLowRank;
+use optim::linalg::{min_degree_ordering, DenseMatrix, LdlSymbolic};
+use optim::lp::{ConstraintSense, LpProblem};
+use optim::sparse::Triplets;
+use proptest::prelude::*;
+
+/// Strategy: a random transportation LP that is always feasible (total
+/// capacity ≥ total demand by construction).
+fn transportation_lp() -> impl Strategy<Value = LpProblem> {
+    (2usize..5, 2usize..5, proptest::collection::vec(1u32..9, 4..25)).prop_map(
+        |(nsrc, ndst, raw)| {
+            let mut lp = LpProblem::new();
+            let mut vars = vec![vec![0usize; ndst]; nsrc];
+            let mut k = 0usize;
+            for (i, row) in vars.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    let cost = raw[k % raw.len()] as f64;
+                    k += 1;
+                    *v = lp.add_var(cost + (i + j) as f64 * 0.25);
+                }
+            }
+            // Demands 1..3 per source row.
+            let mut total_demand = 0.0;
+            for (i, row) in vars.iter().enumerate() {
+                let d = 1.0 + (raw[(i + 1) % raw.len()] % 3) as f64;
+                total_demand += d;
+                let terms: Vec<(usize, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+                lp.add_row(ConstraintSense::Ge, d, &terms);
+            }
+            // Capacities sized to cover everything comfortably.
+            for j in 0..ndst {
+                let terms: Vec<(usize, f64)> = (0..nsrc).map(|i| (vars[i][j], 1.0)).collect();
+                lp.add_row(
+                    ConstraintSense::Le,
+                    total_demand * 2.0 / ndst as f64 + 1.0,
+                    &terms,
+                );
+            }
+            lp
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ipm_matches_simplex_on_random_transportation_lps(lp in transportation_lp()) {
+        let ip = lp.solve().expect("ipm solves feasible LP");
+        let sx = lp.solve_simplex().expect("simplex solves feasible LP");
+        prop_assert!(
+            (ip.objective - sx.objective).abs() <= 1e-5 * (1.0 + sx.objective.abs()),
+            "ipm {} vs simplex {}", ip.objective, sx.objective
+        );
+        prop_assert!(lp.max_violation(&ip.x) < 1e-6);
+    }
+
+    #[test]
+    fn ipm_solution_is_feasible_and_no_better_than_optimal(lp in transportation_lp()) {
+        let ip = lp.solve().expect("solves");
+        let sx = lp.solve_simplex().expect("solves");
+        // IPM cannot beat the exact optimum by more than tolerance.
+        prop_assert!(ip.objective >= sx.objective - 1e-5 * (1.0 + sx.objective.abs()));
+    }
+}
+
+/// Strategy: a random SPD matrix as lower-triangular CSC (B·Bᵀ + n·I).
+fn spd_lower() -> impl Strategy<Value = (optim::sparse::CscMatrix, Vec<f64>)> {
+    (3usize..12, proptest::collection::vec(-1.0f64..1.0, 200))
+        .prop_map(|(n, raw)| {
+            let mut dense = vec![vec![0.0f64; n]; n];
+            let mut k = 0;
+            for row in dense.iter_mut() {
+                for v in row.iter_mut() {
+                    if k % 3 == 0 {
+                        *v = raw[k % raw.len()];
+                    }
+                    k += 1;
+                }
+            }
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let mut s: f64 = (0..n).map(|c| dense[i][c] * dense[j][c]).sum();
+                    if i == j {
+                        s += n as f64;
+                    }
+                    if s != 0.0 {
+                        t.push(i, j, s);
+                    }
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|i| raw[(i * 7) % raw.len()]).collect();
+            (t.to_csc(), b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ldl_solves_random_spd_systems((a, b) in spd_lower()) {
+        let n = a.ncols();
+        let perm = min_degree_ordering(&a);
+        let sym = LdlSymbolic::new(&a, Some(perm));
+        let f = sym.factor(&a).expect("SPD factors");
+        let x = f.solve(&b);
+        // Residual against the full symmetric matrix.
+        for i in 0..n {
+            let mut ax = 0.0;
+            for j in 0..n {
+                let v = if i >= j { a.get(i, j) } else { a.get(j, i) };
+                ax += v * x[j];
+            }
+            prop_assert!((ax - b[i]).abs() < 1e-7, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn ordering_never_increases_fill_vs_worst_case((a, _b) in spd_lower()) {
+        let n = a.ncols();
+        let perm = min_degree_ordering(&a);
+        let ordered = LdlSymbolic::new(&a, Some(perm));
+        prop_assert!(ordered.factor_nnz() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn woodbury_matches_dense_lu(
+        n in 3usize..10,
+        p in 1usize..4,
+        raw in proptest::collection::vec(0.1f64..2.0, 64),
+    ) {
+        let mut t = Triplets::new(p, n);
+        let mut k = 0;
+        for i in 0..p {
+            for j in 0..n {
+                if (i + j) % 2 == 0 {
+                    t.push(i, j, raw[k % raw.len()] - 1.0);
+                }
+                k += 1;
+            }
+        }
+        let u = t.to_csc();
+        let d: Vec<f64> = (0..n).map(|i| raw[(i * 3) % raw.len()]).collect();
+        let e: Vec<f64> = (0..p).map(|i| raw[(i * 5 + 1) % raw.len()]).collect();
+        let r: Vec<f64> = (0..n).map(|i| raw[(i * 7 + 2) % raw.len()] - 1.0).collect();
+        let solver = DiagPlusLowRank::new(u.clone());
+        let x = solver.solve(&d, &e, &r).expect("solves");
+        // Dense reference.
+        let ud = u.to_dense();
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, d[i]);
+        }
+        for i in 0..p {
+            for a_ in 0..n {
+                for b_ in 0..n {
+                    m.add(a_, b_, ud[i][a_] * e[i] * ud[i][b_]);
+                }
+            }
+        }
+        let xref = m.lu().expect("nonsingular").solve(&r);
+        for i in 0..n {
+            prop_assert!((x[i] - xref[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csc_transpose_involution_and_matvec_consistency(
+        n in 1usize..8,
+        m in 1usize..8,
+        raw in proptest::collection::vec(-2.0f64..2.0, 64),
+    ) {
+        let mut t = Triplets::new(m, n);
+        let mut k = 0;
+        for i in 0..m {
+            for j in 0..n {
+                if k % 3 != 2 && raw[k % raw.len()] != 0.0 {
+                    t.push(i, j, raw[k % raw.len()]);
+                }
+                k += 1;
+            }
+        }
+        let a = t.to_csc();
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let x: Vec<f64> = (0..n).map(|i| raw[(i * 11) % raw.len()]).collect();
+        let y1 = a.mul_vec(&x);
+        let y2 = a.transpose().mul_transpose_vec(&x);
+        for i in 0..m {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-12);
+        }
+    }
+}

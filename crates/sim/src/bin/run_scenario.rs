@@ -1,0 +1,63 @@
+//! CLI driver: run a scenario described by a JSON file (or the default
+//! scenario) and print the ratio table.
+//!
+//! ```bash
+//! # Print the default scenario as a JSON template:
+//! cargo run --release -p sim --bin run_scenario -- --template > my.json
+//! # Edit my.json, then:
+//! cargo run --release -p sim --bin run_scenario -- --config my.json
+//! ```
+
+use sim::report::{outcome_json, ratio_table};
+use sim::scenario::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut template = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--template" => template = true,
+            "--config" => config = it.next().cloned(),
+            "--json" => json_out = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: run_scenario [--template] [--config FILE] [--json OUT]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if template {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Scenario::default()).expect("serialize template")
+        );
+        return;
+    }
+
+    let scenario: Scenario = match config {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"))
+        }
+        None => Scenario::default(),
+    };
+
+    eprintln!(
+        "running scenario {:?}: {} users, {} slots, {} repetitions",
+        scenario.name,
+        scenario.mobility.num_users(),
+        scenario.num_slots,
+        scenario.repetitions
+    );
+    let outcome = sim::run_scenario(&scenario).expect("scenario failed");
+    println!("{}", ratio_table(&outcome));
+    if let Some(path) = json_out {
+        std::fs::write(&path, outcome_json(&outcome)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

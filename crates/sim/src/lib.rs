@@ -1,0 +1,35 @@
+//! `sim` — the discrete-time experiment harness.
+//!
+//! Mirrors the Python simulator of the paper's §V: builds instances from
+//! scenario descriptions ([`scenario`]), runs a set of algorithms against
+//! the offline optimum over repeated seeds ([`runner`], parallelized with
+//! crossbeam), aggregates empirical competitive ratios ([`metrics`]), and
+//! renders aligned text tables / JSON reports ([`report`]).
+//!
+//! ```
+//! use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
+//!
+//! # fn main() -> Result<(), edgealloc::Error> {
+//! let scenario = Scenario {
+//!     name: "smoke".into(),
+//!     mobility: MobilityKind::RandomWalk { num_users: 6 },
+//!     num_slots: 6,
+//!     algorithms: vec![AlgorithmKind::Approx { eps: 0.5 }, AlgorithmKind::Greedy],
+//!     repetitions: 1,
+//!     seed: 7,
+//!     ..Scenario::default()
+//! };
+//! let outcome = sim::runner::run_scenario(&scenario)?;
+//! let approx = &outcome.algorithms[0];
+//! assert!(approx.mean_ratio() >= 1.0 - 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_scenario, AlgorithmOutcome, ScenarioOutcome};
+pub use scenario::{AlgorithmKind, MobilityKind, Scenario};

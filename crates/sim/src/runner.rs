@@ -1,0 +1,199 @@
+//! Scenario execution: instance generation, algorithm runs, aggregation.
+
+use crate::scenario::{MobilityKind, Scenario};
+use edgealloc::algorithms::solve_offline_with;
+use edgealloc::cost::{evaluate_trajectory, CostBreakdown};
+use edgealloc::instance::{Instance, SyntheticConfig};
+use edgealloc::ratio::{competitive_ratio, mean_sd};
+use edgealloc::Result;
+use mobility::taxi::TaxiConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Results of one algorithm across all repetitions of a scenario.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AlgorithmOutcome {
+    /// Algorithm label.
+    pub name: String,
+    /// Empirical competitive ratio per repetition.
+    pub ratios: Vec<f64>,
+    /// Total cost per repetition.
+    pub totals: Vec<f64>,
+    /// Cost breakdown per repetition.
+    pub breakdowns: Vec<CostBreakdown>,
+}
+
+impl AlgorithmOutcome {
+    /// Mean empirical competitive ratio.
+    pub fn mean_ratio(&self) -> f64 {
+        mean_sd(&self.ratios).0
+    }
+
+    /// Standard deviation of the ratio across repetitions.
+    pub fn sd_ratio(&self) -> f64 {
+        mean_sd(&self.ratios).1
+    }
+}
+
+/// Results of a whole scenario.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Offline-opt totals per repetition (the normalizer).
+    pub offline_totals: Vec<f64>,
+    /// Per-algorithm results, in roster order.
+    pub algorithms: Vec<AlgorithmOutcome>,
+}
+
+/// Builds the instance of one repetition.
+///
+/// # Errors
+///
+/// Propagates instance validation failures.
+pub fn build_instance(scenario: &Scenario, repetition: usize) -> Result<Instance> {
+    let net = mobility::rome_metro();
+    let mut rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(repetition as u64));
+    let mob = match scenario.mobility {
+        MobilityKind::Taxi { num_users } => {
+            let cfg = TaxiConfig {
+                num_users,
+                num_slots: scenario.num_slots,
+                ..scenario.taxi.clone()
+            };
+            mobility::taxi::generate(&net, &cfg, &mut rng)
+        }
+        MobilityKind::RandomWalk { num_users } => {
+            mobility::random_walk::generate(&net, num_users, scenario.num_slots, &mut rng)
+        }
+    };
+    let cfg = SyntheticConfig {
+        workload: scenario.workload,
+        weights: scenario.weights(),
+        prices: scenario.prices.clone(),
+        delay_per_km: scenario.delay_per_km,
+        utilization: scenario.utilization,
+    };
+    Instance::synthetic_with(&net, mob, &cfg, &mut rng)
+}
+
+/// One repetition's raw outcome: offline total plus per-algorithm costs.
+type RepetitionOutcome = (f64, Vec<CostBreakdown>);
+
+/// One repetition: offline total plus each algorithm's cost.
+fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionOutcome> {
+    let inst = build_instance(scenario, repetition)?;
+    // 1e-6 relative accuracy is ample for ratio reporting and saves a few
+    // interior-point iterations on every (large) horizon LP.
+    let offline = solve_offline_with(
+        &inst,
+        &::optim::lp::IpmOptions {
+            tol: 1e-6,
+            ..::optim::lp::IpmOptions::default()
+        },
+    )?;
+    let mut results = Vec::with_capacity(scenario.algorithms.len());
+    for kind in &scenario.algorithms {
+        let mut alg = kind.build();
+        let traj = edgealloc::algorithms::run_online(&inst, alg.as_mut())?;
+        results.push(evaluate_trajectory(&inst, &traj.allocations));
+    }
+    Ok((offline.cost.total(), results))
+}
+
+/// Runs every repetition of a scenario, in parallel across repetitions, and
+/// aggregates the outcomes.
+///
+/// # Errors
+///
+/// Propagates the first failure from any repetition.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
+    let reps = scenario.repetitions.max(1);
+    let mut per_rep: Vec<Option<Result<RepetitionOutcome>>> = (0..reps).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (r, slot) in per_rep.iter_mut().enumerate() {
+            handles.push(scope.spawn(move |_| {
+                *slot = Some(run_repetition(scenario, r));
+            }));
+        }
+        for h in handles {
+            h.join().expect("repetition thread panicked");
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut offline_totals = Vec::with_capacity(reps);
+    let mut algorithms: Vec<AlgorithmOutcome> = scenario
+        .algorithms
+        .iter()
+        .map(|k| AlgorithmOutcome {
+            name: k.label(),
+            ratios: Vec::with_capacity(reps),
+            totals: Vec::with_capacity(reps),
+            breakdowns: Vec::with_capacity(reps),
+        })
+        .collect();
+    for slot in per_rep {
+        let (offline_total, breakdowns) = slot.expect("repetition ran")?;
+        offline_totals.push(offline_total);
+        for (a, bd) in algorithms.iter_mut().zip(breakdowns) {
+            a.ratios.push(competitive_ratio(bd.total(), offline_total));
+            a.totals.push(bd.total());
+            a.breakdowns.push(bd);
+        }
+    }
+    Ok(ScenarioOutcome {
+        name: scenario.name.clone(),
+        offline_totals,
+        algorithms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AlgorithmKind;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            mobility: MobilityKind::RandomWalk { num_users: 5 },
+            num_slots: 5,
+            algorithms: vec![AlgorithmKind::Greedy, AlgorithmKind::Approx { eps: 0.5 }],
+            repetitions: 2,
+            seed: 11,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn run_scenario_produces_ratios_at_least_one() {
+        let outcome = run_scenario(&tiny_scenario()).unwrap();
+        assert_eq!(outcome.offline_totals.len(), 2);
+        for alg in &outcome.algorithms {
+            assert_eq!(alg.ratios.len(), 2);
+            for &r in &alg.ratios {
+                assert!(r >= 1.0 - 1e-4, "{}: ratio {r} below 1", alg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn repetitions_are_deterministic_given_seed() {
+        let a = run_scenario(&tiny_scenario()).unwrap();
+        let b = run_scenario(&tiny_scenario()).unwrap();
+        for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+            for (rx, ry) in x.ratios.iter().zip(&y.ratios) {
+                assert!((rx - ry).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn build_instance_respects_user_count() {
+        let inst = build_instance(&tiny_scenario(), 0).unwrap();
+        assert_eq!(inst.num_users(), 5);
+        assert_eq!(inst.num_slots(), 5);
+    }
+}

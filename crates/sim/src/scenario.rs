@@ -1,0 +1,209 @@
+//! Declarative experiment descriptions.
+
+use edgealloc::algorithms::{
+    OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt, PerfOpt, StatOpt, StaticPolicy,
+    StaticVariant,
+};
+use edgealloc::cost::CostWeights;
+use mobility::prices::PriceConfig;
+use mobility::taxi::TaxiConfig;
+use mobility::workload::WorkloadDist;
+use serde::{Deserialize, Serialize};
+
+/// Which mobility substrate drives the users.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// Synthetic taxi trips around the metro stations (the Roma-taxi
+    /// substitution; §V-A/B of the paper).
+    Taxi {
+        /// Number of taxis/users.
+        num_users: usize,
+    },
+    /// Uniform random walk on the metro graph (§V-D).
+    RandomWalk {
+        /// Number of walkers/users.
+        num_users: usize,
+    },
+}
+
+impl MobilityKind {
+    /// The number of users the scenario simulates.
+    pub fn num_users(&self) -> usize {
+        match *self {
+            MobilityKind::Taxi { num_users } | MobilityKind::RandomWalk { num_users } => num_users,
+        }
+    }
+}
+
+/// Which algorithm to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// The paper's regularized online algorithm with `ε₁ = ε₂ = eps`.
+    Approx {
+        /// Regularization parameter.
+        eps: f64,
+    },
+    /// The regularized algorithm with explicit capacity rows instead of
+    /// constraint (10b) — the deployment-grade variant (ablation).
+    ApproxExplicit {
+        /// Regularization parameter.
+        eps: f64,
+    },
+    /// Per-slot full-ℙ₀ greedy.
+    Greedy,
+    /// Quality-only atomistic baseline.
+    PerfOpt,
+    /// Operation-only atomistic baseline.
+    OperOpt,
+    /// Static-cost atomistic baseline.
+    StatOpt,
+    /// Frozen capacity-proportional allocation.
+    StaticProportional,
+    /// Frozen first-slot static optimum.
+    StaticFirstSlot,
+    /// Frozen first-slot locality-first allocation.
+    StaticLocal,
+}
+
+impl AlgorithmKind {
+    /// Instantiates the algorithm.
+    pub fn build(&self) -> Box<dyn OnlineAlgorithm + Send> {
+        match *self {
+            AlgorithmKind::Approx { eps } => Box::new(OnlineRegularized::with_epsilon(eps)),
+            AlgorithmKind::ApproxExplicit { eps } => {
+                Box::new(OnlineRegularized::with_epsilon(eps).with_explicit_capacity())
+            }
+            AlgorithmKind::Greedy => Box::new(OnlineGreedy::new()),
+            AlgorithmKind::PerfOpt => Box::new(PerfOpt::new()),
+            AlgorithmKind::OperOpt => Box::new(OperOpt::new()),
+            AlgorithmKind::StatOpt => Box::new(StatOpt::new()),
+            AlgorithmKind::StaticProportional => {
+                Box::new(StaticPolicy::new(StaticVariant::Proportional))
+            }
+            AlgorithmKind::StaticFirstSlot => {
+                Box::new(StaticPolicy::new(StaticVariant::FirstSlotOpt))
+            }
+            AlgorithmKind::StaticLocal => Box::new(StaticPolicy::new(StaticVariant::Local)),
+        }
+    }
+
+    /// Stable display name (matches the paper's labels).
+    pub fn label(&self) -> String {
+        match *self {
+            AlgorithmKind::Approx { .. } => "online-approx".into(),
+            AlgorithmKind::ApproxExplicit { .. } => "online-approx".into(),
+            AlgorithmKind::Greedy => "online-greedy".into(),
+            AlgorithmKind::PerfOpt => "perf-opt".into(),
+            AlgorithmKind::OperOpt => "oper-opt".into(),
+            AlgorithmKind::StatOpt => "stat-opt".into(),
+            AlgorithmKind::StaticProportional => "static-proportional".into(),
+            AlgorithmKind::StaticFirstSlot => "static-first-slot".into(),
+            AlgorithmKind::StaticLocal => "static-local".into(),
+        }
+    }
+}
+
+/// A complete experiment description: mobility, workload, prices, weights,
+/// the algorithm roster, and how many seeded repetitions to average.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Mobility source.
+    pub mobility: MobilityKind,
+    /// Number of time slots (the paper uses 60 one-minute slots).
+    pub num_slots: usize,
+    /// Workload distribution.
+    pub workload: WorkloadDist,
+    /// Ratio of dynamic to static cost weights (`μ` in Figure 4; 1 = equal).
+    pub dynamic_weight: f64,
+    /// Algorithms to evaluate (offline-opt always runs as the normalizer).
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Independent repetitions (the paper uses 5).
+    pub repetitions: usize,
+    /// Base RNG seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Taxi-generator tuning (ignored for random-walk mobility).
+    pub taxi: TaxiConfig,
+    /// Price-process parameters (see `EXPERIMENTS.md` for the calibration
+    /// of the defaults against the paper's reported magnitudes).
+    pub prices: PriceConfig,
+    /// Quality-cost units per kilometer of distance.
+    pub delay_per_km: f64,
+    /// Target system utilization (§V-A: 80%).
+    pub utilization: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "default".into(),
+            mobility: MobilityKind::Taxi { num_users: 40 },
+            num_slots: 30,
+            workload: WorkloadDist::default_power(),
+            dynamic_weight: 1.0,
+            algorithms: vec![
+                AlgorithmKind::PerfOpt,
+                AlgorithmKind::OperOpt,
+                AlgorithmKind::StatOpt,
+                AlgorithmKind::Greedy,
+                AlgorithmKind::Approx { eps: 0.5 },
+            ],
+            repetitions: 5,
+            seed: 2017,
+            taxi: TaxiConfig::default(),
+            prices: PriceConfig {
+                reconfig_mean: 2.0,
+                bandwidth_scale: 2.0,
+                ..PriceConfig::default()
+            },
+            delay_per_km: 2.0,
+            utilization: 0.8,
+        }
+    }
+}
+
+impl Scenario {
+    /// The cost weights implied by `dynamic_weight`.
+    pub fn weights(&self) -> CostWeights {
+        CostWeights::with_dynamic_ratio(self.dynamic_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_kinds_build_with_matching_names() {
+        for kind in [
+            AlgorithmKind::Approx { eps: 0.5 },
+            AlgorithmKind::Greedy,
+            AlgorithmKind::PerfOpt,
+            AlgorithmKind::OperOpt,
+            AlgorithmKind::StatOpt,
+            AlgorithmKind::StaticProportional,
+            AlgorithmKind::StaticFirstSlot,
+            AlgorithmKind::StaticLocal,
+        ] {
+            let alg = kind.build();
+            assert_eq!(alg.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = Scenario::default();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.repetitions, s.repetitions);
+    }
+
+    #[test]
+    fn default_scenario_matches_paper_roster() {
+        let s = Scenario::default();
+        assert_eq!(s.algorithms.len(), 5);
+        assert_eq!(s.repetitions, 5);
+    }
+}

@@ -1,0 +1,65 @@
+//! Flash-crowd scenario: users converge on one station (a stadium event at
+//! Circo Massimo), overloading its edge cloud. Capacity constraints force
+//! workload to spill to neighboring clouds; the online algorithm balances
+//! spillover quality cost against migration churn as the crowd arrives and
+//! disperses.
+//!
+//! Run with: `cargo run --release --example flash_crowd`
+
+use edgealloc::prelude::*;
+use mobility::MobilityInput;
+use rand::SeedableRng;
+
+fn main() -> Result<(), edgealloc::Error> {
+    let net = mobility::rome_metro();
+    let venue = 13; // Circo Massimo
+    let (num_users, num_slots) = (12usize, 18usize);
+
+    // Users random-walk for 6 slots, crowd at the venue for 6, disperse.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let walk = mobility::random_walk::generate(&net, num_users, num_slots, &mut rng);
+    let mut attachment = Vec::new();
+    for j in 0..num_users {
+        let mut row: Vec<usize> = (0..num_slots).map(|t| walk.attached(j, t)).collect();
+        for slot in row.iter_mut().take(12).skip(6) {
+            *slot = venue;
+        }
+        attachment.push(row);
+    }
+    let mobility = MobilityInput::new(net.len(), attachment, vec![vec![0.1; num_slots]; num_users]);
+    let instance = Instance::synthetic(&net, mobility, &mut rng);
+
+    let mut approx = OnlineRegularized::with_defaults();
+    let traj = run_online(&instance, &mut approx)?;
+    let venue_cap = instance.system().capacity(venue);
+    println!("venue: {} (capacity {venue_cap:.1})", net.station(venue).name);
+    println!("slot | attached@venue | x@venue | spillover");
+    for t in 0..num_slots {
+        let attached = (0..num_users)
+            .filter(|&j| instance.attached(j, t) == venue)
+            .count();
+        let local = traj.allocations[t].cloud_total(venue);
+        let demand_here: f64 = (0..num_users)
+            .filter(|&j| instance.attached(j, t) == venue)
+            .map(|j| instance.workload(j))
+            .sum();
+        println!(
+            "{t:>4} | {attached:>14} | {local:>7.2} | {:>9.2}",
+            (demand_here - local).max(0.0)
+        );
+        assert!(
+            local <= venue_cap + 1e-6,
+            "capacity must hold even under the flash crowd"
+        );
+    }
+    let cost = evaluate_trajectory(&instance, &traj.allocations);
+    let offline = solve_offline(&instance)?;
+    println!();
+    println!(
+        "online total {:.2} vs offline {:.2} (ratio {:.3})",
+        cost.total(),
+        offline.cost.total(),
+        competitive_ratio(cost.total(), offline.cost.total())
+    );
+    Ok(())
+}

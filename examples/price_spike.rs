@@ -1,0 +1,74 @@
+//! Price-spike scenario: a stationary user population faces a sudden
+//! operation-price surge at the cloud hosting their workload. The greedy
+//! policy reacts instantly (and pays migration both ways when the spike
+//! ends); the regularized algorithm hedges, drifting workload away in
+//! proportion to how long the spike persists — the Figure-1 intuition on a
+//! richer instance.
+//!
+//! Run with: `cargo run --release --example price_spike`
+
+use edgealloc::cost::CostWeights;
+use edgealloc::prelude::*;
+use edgealloc::EdgeCloudSystem;
+use mobility::MobilityInput;
+
+fn main() -> Result<(), edgealloc::Error> {
+    // Three clouds in a line, 1.0 delay apart; six users parked at cloud 0.
+    let (num_clouds, num_users, num_slots) = (3usize, 6usize, 16usize);
+    let delay = vec![
+        vec![0.0, 1.0, 2.0],
+        vec![1.0, 0.0, 1.0],
+        vec![2.0, 1.0, 0.0],
+    ];
+    let system = EdgeCloudSystem::new(vec![10.0, 10.0, 10.0], delay)?;
+    let mobility = MobilityInput::new(
+        num_clouds,
+        vec![vec![0; num_slots]; num_users],
+        vec![vec![0.3; num_slots]; num_users],
+    );
+
+    // Operation prices: cloud 0 spikes 5× during slots 4..10.
+    let mut prices = vec![vec![1.0, 1.2, 1.4]; num_slots];
+    for row in prices.iter_mut().take(10).skip(4) {
+        row[0] = 5.0;
+    }
+
+    let instance = Instance::new(
+        system,
+        vec![1.0; num_users],
+        mobility,
+        prices,
+        vec![0.5; num_clouds],           // c_i
+        vec![0.25; num_clouds],          // b_out
+        vec![0.25; num_clouds],          // b_in
+        CostWeights::default(),
+    )?;
+
+    let offline = solve_offline(&instance)?;
+    println!("slot | price(c0) | greedy x@c0 | approx x@c0 | offline x@c0");
+    let mut greedy = OnlineGreedy::new();
+    let mut approx = OnlineRegularized::with_defaults();
+    let tg = run_online(&instance, &mut greedy)?;
+    let ta = run_online(&instance, &mut approx)?;
+    for t in 0..num_slots {
+        println!(
+            "{t:>4} | {:>9.1} | {:>11.2} | {:>11.2} | {:>12.2}",
+            instance.operation_price(0, t),
+            tg.allocations[t].cloud_total(0),
+            ta.allocations[t].cloud_total(0),
+            offline.allocations[t].cloud_total(0),
+        );
+    }
+    let cg = evaluate_trajectory(&instance, &tg.allocations).total();
+    let ca = evaluate_trajectory(&instance, &ta.allocations).total();
+    println!();
+    println!(
+        "totals — greedy {:.2} ({:.3}×opt), approx {:.2} ({:.3}×opt), offline {:.2}",
+        cg,
+        cg / offline.cost.total(),
+        ca,
+        ca / offline.cost.total(),
+        offline.cost.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: allocate resources for a handful of mobile users online and
+//! compare against the clairvoyant offline optimum.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use edgealloc::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), edgealloc::Error> {
+    // An edge-cloud system: one cloud per central-Rome metro station.
+    let net = mobility::rome_metro();
+
+    // Users move by a random walk on the metro graph for 12 one-minute
+    // slots; the synthetic instance adds workloads, capacities, and price
+    // processes exactly as in the paper's evaluation setup.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mob = mobility::random_walk::generate(&net, 10, 12, &mut rng);
+    let instance = Instance::synthetic(&net, mob, &mut rng);
+
+    // The paper's online algorithm: solve the regularized program ℙ₂ each
+    // slot, knowing nothing about future prices or movements.
+    let mut online = OnlineRegularized::with_defaults();
+    let trajectory = run_online(&instance, &mut online)?;
+    let online_cost = evaluate_trajectory(&instance, &trajectory.allocations);
+
+    // The offline optimum sees the whole future (impractical; baseline).
+    let offline = solve_offline(&instance)?;
+
+    println!("online total cost:  {:.2}", online_cost.total());
+    println!(
+        "  operation {:.2} | quality {:.2} | reconfig {:.2} | migration {:.2}",
+        online_cost.operation, online_cost.quality, online_cost.reconfig, online_cost.migration
+    );
+    println!("offline total cost: {:.2}", offline.cost.total());
+    println!(
+        "empirical competitive ratio: {:.3} (theoretical bound: {:.1})",
+        competitive_ratio(online_cost.total(), offline.cost.total()),
+        online.theoretical_ratio(instance.system()),
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! A rush-hour in Rome: taxis roam the city while the operator reallocates
+//! edge-cloud resources online. Compares the full algorithm roster the
+//! paper evaluates and prints a Figure-2-style table.
+//!
+//! Run with: `cargo run --release --example taxi_day`
+//! (add `-- --users 60 --slots 60` style flags via env vars below)
+
+use sim::report::ratio_table;
+use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), edgealloc::Error> {
+    let scenario = Scenario {
+        name: "taxi-rush-hour".into(),
+        mobility: MobilityKind::Taxi {
+            num_users: env_usize("USERS", 20),
+        },
+        num_slots: env_usize("SLOTS", 15),
+        algorithms: vec![
+            AlgorithmKind::PerfOpt,
+            AlgorithmKind::OperOpt,
+            AlgorithmKind::StatOpt,
+            AlgorithmKind::Greedy,
+            AlgorithmKind::Approx { eps: 0.5 },
+        ],
+        repetitions: env_usize("REPS", 2),
+        seed: 7,
+        ..Scenario::default()
+    };
+    println!(
+        "Simulating {} taxis over {} one-minute slots across 15 Rome metro edge clouds...",
+        scenario.mobility.num_users(),
+        scenario.num_slots
+    );
+    let outcome = sim::run_scenario(&scenario)?;
+    println!();
+    println!("{}", ratio_table(&outcome));
+    println!("(ratios are total cost normalized by the offline optimum; lower is better)");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo BENCH_DONE > results/BENCH_DONE

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+target/release/fig1_example > results/fig1.txt 2>&1
+target/release/fig2_competitive_ratio --json results/fig2.json > results/fig2.txt 2> results/fig2.log
+target/release/fig3_workloads --json results/fig3.json > results/fig3.txt 2> results/fig3.log
+target/release/fig4_sweeps --json results/fig4.json > results/fig4.txt 2> results/fig4.log
+target/release/static_vs_online --json results/static.json > results/static.txt 2> results/static.log
+target/release/fig5_random_walk --json results/fig5.json > results/fig5.txt 2> results/fig5.log
+echo ALL_FIGURES_DONE > results/DONE

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+target/release/fig3_workloads --users 24 --slots 20 --reps 2 --json results/fig3.json > results/fig3.txt 2> results/fig3.log
+target/release/fig4_sweeps --users 20 --slots 16 --reps 2 --json results/fig4.json > results/fig4.txt 2> results/fig4.log
+target/release/static_vs_online --json results/static.json > results/static.txt 2> results/static.log
+target/release/ablation_correlation --json results/ablation_corr.json > results/ablation_corr.txt 2> results/ablation_corr.log
+target/release/fig5_random_walk --max-users 140 --json results/fig5.json > results/fig5.txt 2> results/fig5.log
+echo ALL_DONE > results/DONE

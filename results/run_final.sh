@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+echo TEST_DONE > results/TEST_DONE
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo BENCH_DONE2 > results/BENCH_DONE2

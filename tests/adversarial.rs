@@ -1,0 +1,87 @@
+//! Adversarial lower-bound exploration (the paper's stated future work):
+//! the ping-pong family on which online-greedy's competitive ratio
+//! approaches 2 while the regularized algorithm stays better behaved.
+
+use edgealloc::cost::evaluate_trajectory;
+use edgealloc::prelude::*;
+
+fn ratios(k: f64, slots: usize) -> (f64, f64) {
+    let inst = Instance::pingpong(slots, k);
+    let offline = solve_offline(&inst).unwrap();
+    let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    let approx = run_online(&inst, &mut OnlineRegularized::with_defaults()).unwrap();
+    let off = offline.cost.total();
+    (
+        evaluate_trajectory(&inst, &greedy.allocations).total() / off,
+        evaluate_trajectory(&inst, &approx.allocations).total() / off,
+    )
+}
+
+#[test]
+fn greedy_thrashes_on_pingpong() {
+    // Greedy relocates the workload every slot (the delay `k+0.1` always
+    // beats the move cost `k`).
+    let inst = Instance::pingpong(8, 4.0);
+    let traj = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    for t in 0..8 {
+        let here = t % 2;
+        assert!(
+            traj.allocations[t].get(here, 0) > 0.99,
+            "slot {t}: greedy should follow the user"
+        );
+    }
+}
+
+#[test]
+fn greedy_ratio_grows_with_k() {
+    let (g1, _) = ratios(1.0, 12);
+    let (g4, _) = ratios(4.0, 12);
+    let (g16, _) = ratios(16.0, 12);
+    assert!(g1 < g4 && g4 < g16, "greedy ratios {g1} {g4} {g16} must grow");
+    assert!(g16 > 1.5, "greedy should approach 2, got {g16}");
+    assert!(g16 < 2.0 + 1e-9, "ping-pong bounds greedy by 2");
+}
+
+#[test]
+fn approx_beats_greedy_on_hard_pingpong() {
+    let (g, a) = ratios(16.0, 12);
+    assert!(
+        a < g,
+        "regularized ({a}) should beat greedy ({g}) on the adversarial family"
+    );
+}
+
+#[test]
+fn offline_parks_the_workload() {
+    // The optimum never pays the oscillation: at most one early move (from
+    // the slot-0 cloud to the one the user visits at odd slots saves one
+    // delay payment), then the workload stays parked.
+    let inst = Instance::pingpong(10, 8.0);
+    let offline = solve_offline(&inst).unwrap();
+    let moved: f64 = offline
+        .allocations
+        .windows(2)
+        .map(|w| {
+            (0..2)
+                .map(|i| (w[1].cloud_total(i) - w[0].cloud_total(i)).abs())
+                .sum::<f64>()
+        })
+        .sum();
+    // One full relocation registers as 2.0 in this metric (1 out + 1 in).
+    assert!(
+        moved <= 2.0 + 1e-6,
+        "offline should move at most once, total movement {moved}"
+    );
+    // Greedy, by contrast, moves every slot: 2·(T−1) = 18.
+    let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    let greedy_moved: f64 = greedy
+        .allocations
+        .windows(2)
+        .map(|w| {
+            (0..2)
+                .map(|i| (w[1].cloud_total(i) - w[0].cloud_total(i)).abs())
+                .sum::<f64>()
+        })
+        .sum();
+    assert!(greedy_moved > 17.0, "greedy moves every slot: {greedy_moved}");
+}

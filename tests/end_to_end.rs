@@ -1,0 +1,136 @@
+//! End-to-end experiment-harness tests: small versions of the paper's
+//! evaluation scenarios, checking the qualitative shape of the results
+//! (who wins, and by roughly how much).
+
+use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
+
+fn run(scenario: Scenario) -> sim::ScenarioOutcome {
+    sim::run_scenario(&scenario).expect("scenario must run")
+}
+
+#[test]
+fn taxi_scenario_orders_algorithms_as_the_paper_does() {
+    // Figure 2's qualitative shape: the holistic group (greedy, approx)
+    // clearly beats the atomistic stat-opt, and online-approx is within a
+    // small margin of (typically below) online-greedy. At this test's tiny
+    // scale the ramp-up phase weighs on approx, so we assert a margin
+    // rather than strict dominance; see EXPERIMENTS.md for the full-scale
+    // measurements.
+    let outcome = run(Scenario {
+        name: "e2e-taxi".into(),
+        mobility: MobilityKind::Taxi { num_users: 14 },
+        num_slots: 14,
+        algorithms: vec![
+            AlgorithmKind::StatOpt,
+            AlgorithmKind::Greedy,
+            AlgorithmKind::Approx { eps: 0.5 },
+        ],
+        repetitions: 2,
+        seed: 31,
+        ..Scenario::default()
+    });
+    let stat = outcome.algorithms[0].mean_ratio();
+    let greedy = outcome.algorithms[1].mean_ratio();
+    let approx = outcome.algorithms[2].mean_ratio();
+    assert!(
+        approx <= greedy * 1.08,
+        "approx {approx} should be within 8% of greedy {greedy}"
+    );
+    assert!(
+        approx < stat,
+        "approx {approx} should beat stat-opt {stat}"
+    );
+    assert!(approx < 1.5, "approx ratio {approx} should be near-optimal");
+}
+
+#[test]
+fn random_walk_scenario_keeps_approx_near_optimal() {
+    // Figure 5's shape: approx stays close to 1 under random-walk mobility.
+    let outcome = run(Scenario {
+        name: "e2e-walk".into(),
+        mobility: MobilityKind::RandomWalk { num_users: 15 },
+        num_slots: 8,
+        algorithms: vec![AlgorithmKind::Greedy, AlgorithmKind::Approx { eps: 0.5 }],
+        repetitions: 2,
+        seed: 5,
+        ..Scenario::default()
+    });
+    let greedy = outcome.algorithms[0].mean_ratio();
+    let approx = outcome.algorithms[1].mean_ratio();
+    assert!(approx >= 1.0 - 1e-6);
+    // Under every-slot random-walk mobility the regularizer's partial moves
+    // churn more than the paper reports (see EXPERIMENTS.md, Figure 5):
+    // both holistic algorithms stay below 1.6 here.
+    assert!(approx < 1.6, "approx {approx}");
+    assert!(greedy < 1.6, "greedy {greedy}");
+}
+
+#[test]
+fn static_baselines_cost_a_multiple_of_online() {
+    // §I's claim shape: static approaches cost a real multiple of the
+    // adaptive online algorithm under mobility.
+    let outcome = run(Scenario {
+        name: "e2e-static".into(),
+        mobility: MobilityKind::Taxi { num_users: 12 },
+        num_slots: 10,
+        algorithms: vec![
+            AlgorithmKind::Approx { eps: 0.5 },
+            AlgorithmKind::StaticProportional,
+        ],
+        repetitions: 2,
+        seed: 77,
+        ..Scenario::default()
+    });
+    let approx = outcome.algorithms[0].mean_ratio();
+    let static_prop = outcome.algorithms[1].mean_ratio();
+    assert!(
+        static_prop > 1.2 * approx,
+        "static-proportional {static_prop} should cost well above approx {approx}"
+    );
+}
+
+#[test]
+fn epsilon_extremes_still_produce_valid_runs() {
+    // Figure 4's sweep endpoints must run without numerical failure.
+    for eps in [1e-3, 1e3] {
+        let outcome = run(Scenario {
+            name: format!("e2e-eps-{eps}"),
+            mobility: MobilityKind::RandomWalk { num_users: 6 },
+            num_slots: 5,
+            algorithms: vec![AlgorithmKind::Approx { eps }],
+            repetitions: 1,
+            seed: 13,
+            ..Scenario::default()
+        });
+        assert!(outcome.algorithms[0].mean_ratio() >= 1.0 - 1e-4);
+    }
+}
+
+#[test]
+fn mu_extremes_match_figure4_shape() {
+    // Small μ (static dominates): per-slot optimization is near-optimal, so
+    // the ratio should be very close to 1. Large μ: still bounded.
+    let base = Scenario {
+        name: "e2e-mu".into(),
+        mobility: MobilityKind::RandomWalk { num_users: 6 },
+        num_slots: 6,
+        algorithms: vec![AlgorithmKind::Approx { eps: 0.5 }],
+        repetitions: 2,
+        seed: 3,
+        ..Scenario::default()
+    };
+    let small = run(Scenario {
+        dynamic_weight: 1e-3,
+        name: "e2e-mu-small".into(),
+        ..base.clone()
+    });
+    let large = run(Scenario {
+        dynamic_weight: 1e3,
+        name: "e2e-mu-large".into(),
+        ..base
+    });
+    let r_small = small.algorithms[0].mean_ratio();
+    let r_large = large.algorithms[0].mean_ratio();
+    assert!(r_small < 1.1, "small-μ ratio {r_small} should be ≈1");
+    assert!(r_large < 3.0, "large-μ ratio {r_large} should stay bounded");
+}

@@ -1,0 +1,91 @@
+//! Integration test reproducing Figure 1 of the paper end-to-end: the toy
+//! instances, the greedy pathologies, the exact cost tallies, and the
+//! regularized algorithm landing between greedy and the optimum.
+
+use edgealloc::allocation::Allocation;
+use edgealloc::cost::{evaluate_trajectory, transition_cost};
+use edgealloc::prelude::*;
+
+/// The paper's tallies exclude the initial ramp-up transition (identical
+/// for every policy).
+fn cost_without_ramp(inst: &Instance, allocs: &[Allocation]) -> f64 {
+    let full = evaluate_trajectory(inst, allocs).total();
+    let ramp = transition_cost(
+        inst,
+        &Allocation::zeros(inst.num_clouds(), inst.num_users()),
+        &allocs[0],
+    )
+    .total();
+    full - ramp
+}
+
+#[test]
+fn figure_1a_exact_costs() {
+    let inst = Instance::fig1_example(2.1, true);
+    let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    let offline = solve_offline(&inst).unwrap();
+    assert!((cost_without_ramp(&inst, &greedy.allocations) - 11.5).abs() < 1e-4);
+    assert!((cost_without_ramp(&inst, &offline.allocations) - 9.6).abs() < 1e-4);
+}
+
+#[test]
+fn figure_1b_exact_costs() {
+    let inst = Instance::fig1_example(1.9, false);
+    let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    let offline = solve_offline(&inst).unwrap();
+    assert!((cost_without_ramp(&inst, &greedy.allocations) - 11.3).abs() < 1e-4);
+    // True optimum 9.4 (the paper's narrative policy costs 9.5; DESIGN.md).
+    assert!((cost_without_ramp(&inst, &offline.allocations) - 9.4).abs() < 1e-4);
+}
+
+#[test]
+fn regularized_beats_greedy_on_both_toy_cases() {
+    for (dab, ret) in [(2.1, true), (1.9, false)] {
+        let inst = Instance::fig1_example(dab, ret);
+        let greedy = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+        let approx = run_online(&inst, &mut OnlineRegularized::with_defaults()).unwrap();
+        let g = evaluate_trajectory(&inst, &greedy.allocations).total();
+        let a = evaluate_trajectory(&inst, &approx.allocations).total();
+        assert!(a < g, "case ({dab},{ret}): approx {a} !< greedy {g}");
+    }
+}
+
+#[test]
+fn greedy_is_aggressive_in_case_a_and_conservative_in_case_b() {
+    // Case (a): greedy chases the user (A→B→A).
+    let inst = Instance::fig1_example(2.1, true);
+    let traj = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    assert!(traj.allocations[1].get(1, 0) > 0.99);
+    assert!(traj.allocations[2].get(0, 0) > 0.99);
+    // Case (b): greedy never moves.
+    let inst = Instance::fig1_example(1.9, false);
+    let traj = run_online(&inst, &mut OnlineGreedy::new()).unwrap();
+    for t in 0..3 {
+        assert!(traj.allocations[t].get(0, 0) > 0.99, "slot {t}");
+    }
+}
+
+#[test]
+fn all_policies_feasible_on_toy_cases() {
+    for (dab, ret) in [(2.1, true), (1.9, false)] {
+        let inst = Instance::fig1_example(dab, ret);
+        let algs: Vec<Box<dyn OnlineAlgorithm>> = vec![
+            Box::new(OnlineGreedy::new()),
+            Box::new(OnlineRegularized::with_defaults()),
+            Box::new(PerfOpt::new()),
+            Box::new(OperOpt::new()),
+            Box::new(StatOpt::new()),
+        ];
+        for mut alg in algs {
+            let traj = run_online(&inst, alg.as_mut()).unwrap();
+            for x in &traj.allocations {
+                assert!(x.demand_shortfall(inst.workloads()) < 1e-5, "{}", alg.name());
+                assert!(
+                    x.capacity_excess(inst.system().capacities()) < 1e-5,
+                    "{}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
