@@ -5,19 +5,23 @@
 
 use crate::algorithms::{OnlineAlgorithm, SlotInput};
 use crate::allocation::Allocation;
-use crate::programs::per_slot_lp::{base_lp, solve_to_allocation, StaticTerms};
+use crate::health::SlotHealth;
+use crate::programs::per_slot_lp::{base_lp, solve_to_allocation_resilient, StaticTerms};
 use crate::Result;
+use optim::resilience::RetryPolicy;
 
 macro_rules! atomistic {
     ($(#[$doc:meta])* $name:ident, $label:literal, $operation:literal, $quality:literal) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Default)]
-        pub struct $name;
+        pub struct $name {
+            last_health: Option<SlotHealth>,
+        }
 
         impl $name {
             /// Creates the baseline.
             pub fn new() -> Self {
-                $name
+                Self::default()
             }
         }
 
@@ -34,7 +38,18 @@ macro_rules! atomistic {
                         quality: $quality,
                     },
                 );
-                solve_to_allocation(&lp, input)
+                let (result, report) =
+                    solve_to_allocation_resilient(&lp, input, &RetryPolicy::default());
+                self.last_health = Some(SlotHealth::from_lp_report(&report));
+                result
+            }
+
+            fn take_health(&mut self) -> Option<SlotHealth> {
+                self.last_health.take()
+            }
+
+            fn reset(&mut self) {
+                self.last_health = None;
             }
         }
     };

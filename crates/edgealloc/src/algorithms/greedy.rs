@@ -2,8 +2,12 @@
 
 use crate::algorithms::{OnlineAlgorithm, SlotInput};
 use crate::allocation::Allocation;
-use crate::programs::per_slot_lp::{add_dynamic_terms, base_lp, solve_to_allocation, StaticTerms};
+use crate::health::SlotHealth;
+use crate::programs::per_slot_lp::{
+    add_dynamic_terms, base_lp, solve_to_allocation_resilient, StaticTerms,
+};
 use crate::Result;
+use optim::resilience::RetryPolicy;
 
 /// The natural greedy baseline (§II-E, §V-B): in every slot, minimize the
 /// slot's full ℙ₀ cost — static costs plus the reconfiguration and
@@ -25,12 +29,14 @@ use crate::Result;
 /// # }
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct OnlineGreedy;
+pub struct OnlineGreedy {
+    last_health: Option<SlotHealth>,
+}
 
 impl OnlineGreedy {
     /// Creates the greedy baseline.
     pub fn new() -> Self {
-        OnlineGreedy
+        OnlineGreedy::default()
     }
 }
 
@@ -48,7 +54,17 @@ impl OnlineAlgorithm for OnlineGreedy {
             },
         );
         add_dynamic_terms(&mut lp, input, prev);
-        solve_to_allocation(&lp, input)
+        let (result, report) = solve_to_allocation_resilient(&lp, input, &RetryPolicy::default());
+        self.last_health = Some(SlotHealth::from_lp_report(&report));
+        result
+    }
+
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        self.last_health.take()
+    }
+
+    fn reset(&mut self) {
+        self.last_health = None;
     }
 }
 

@@ -20,7 +20,9 @@ pub use static_alloc::{StaticPolicy, StaticVariant};
 
 use crate::allocation::Allocation;
 use crate::cost::CostWeights;
+use crate::health::{FallbackRung, HealthSummary, SlotHealth};
 use crate::instance::Instance;
+use crate::sanitize::sanitize_slot;
 use crate::system::EdgeCloudSystem;
 use crate::Result;
 
@@ -111,8 +113,20 @@ pub trait OnlineAlgorithm {
     ///
     /// # Errors
     ///
-    /// Implementations propagate solver failures.
+    /// Implementations propagate solver failures their own degradation
+    /// ladder could not absorb; [`run_online`] then applies the final
+    /// carry-forward rung instead of aborting the horizon.
     fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation>;
+
+    /// Hands over the [`SlotHealth`] of the most recent [`decide`] call,
+    /// if the implementation tracks one. [`run_online`] collects these on
+    /// the trajectory; implementations without a ladder may keep the
+    /// default (`None`) and are recorded as healthy primary solves.
+    ///
+    /// [`decide`]: OnlineAlgorithm::decide
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        None
+    }
 
     /// Clears any internal state so the algorithm can run a fresh horizon.
     fn reset(&mut self) {}
@@ -123,27 +137,84 @@ pub trait OnlineAlgorithm {
 pub struct Trajectory {
     /// One allocation per slot.
     pub allocations: Vec<Allocation>,
+    /// One health record per slot: which degradation-ladder rung produced
+    /// the allocation (same indexing as `allocations`).
+    pub health: Vec<SlotHealth>,
+}
+
+impl Trajectory {
+    /// Condenses the per-slot health records for reporting.
+    pub fn health_summary(&self) -> HealthSummary {
+        HealthSummary::from_slots(&self.health)
+    }
 }
 
 /// Runs an online algorithm over every slot of the instance, starting from
 /// the all-zero allocation (`x_{i,j,0} ≜ 0`).
 ///
+/// The loop never aborts mid-horizon. Corrupted slot inputs (non-finite
+/// prices, negative delays — see [`crate::sanitize`]) are repaired before
+/// the algorithm sees them, and a `decide` failure that survived the
+/// algorithm's own ladder triggers the final rung: the previous slot's
+/// allocation is carried forward and repaired with [`repair_capacity`].
+/// Every slot's outcome is recorded in [`Trajectory::health`].
+///
 /// # Errors
 ///
-/// Propagates the first solver failure.
+/// Returns [`crate::Error::Invalid`] only for an empty horizon; solver
+/// failures degrade instead of propagating.
 pub fn run_online<A: OnlineAlgorithm + ?Sized>(
     inst: &Instance,
     alg: &mut A,
 ) -> Result<Trajectory> {
+    if inst.num_slots() == 0 {
+        return Err(crate::Error::Invalid("instance has no slots".into()));
+    }
     alg.reset();
     let mut prev = Allocation::zeros(inst.num_clouds(), inst.num_users());
     let mut allocations = Vec::with_capacity(inst.num_slots());
+    let mut health = Vec::with_capacity(inst.num_slots());
     for t in 0..inst.num_slots() {
-        let input = SlotInput::from_instance(inst, t);
-        let mut x = alg.decide(&input, &prev)?;
+        let raw = SlotInput::from_instance(inst, t);
+        let sanitized = sanitize_slot(&raw);
+        let input = match &sanitized {
+            Some((clean, _)) => clean.as_input(&raw),
+            None => raw,
+        };
+        let mut h;
+        let mut x = match alg.decide(&input, &prev) {
+            Ok(x) => {
+                h = alg.take_health().unwrap_or_else(SlotHealth::primary);
+                x
+            }
+            Err(err) => {
+                // Final rung: carry the previous allocation forward and
+                // repair it toward feasibility. Starting from all-zeros
+                // (t = 0) the repair itself builds a cheapest-slack
+                // covering, so even a first-slot failure yields service.
+                h = alg.take_health().unwrap_or_else(SlotHealth::primary);
+                h.rung = FallbackRung::CarryForward;
+                h.final_residual = f64::NAN;
+                h.note_error(&err);
+                let mut carried = prev.clone();
+                if let Err(repair_err) = repair_capacity(&input, &mut carried) {
+                    h.note_error(&repair_err);
+                }
+                h.repaired = true;
+                carried
+            }
+        };
+        if let Some((_, notes)) = &sanitized {
+            h.sanitized = true;
+            h.errors.extend(notes.iter().cloned());
+        }
         x.clamp_nonnegative(1e-6);
         prev = x.clone();
         allocations.push(x);
+        health.push(h);
     }
-    Ok(Trajectory { allocations })
+    Ok(Trajectory {
+        allocations,
+        health,
+    })
 }

@@ -2,9 +2,15 @@
 
 use crate::algorithms::{OnlineAlgorithm, SlotInput};
 use crate::allocation::Allocation;
-use crate::programs::p2::{self, CapacityMode, Epsilons};
+use crate::health::{FallbackRung, SlotHealth};
+use crate::programs::p2::{self, CapacityMode, Epsilons, P2Solution};
+use crate::programs::per_slot_lp::{
+    add_dynamic_terms, base_lp, solve_to_allocation_resilient, StaticTerms,
+};
 use crate::Result;
 use optim::convex::BarrierOptions;
+use optim::resilience::{self, RetryPolicy};
+use std::time::Instant;
 
 /// The paper's online algorithm (§III-B): at every slot, optimally solve
 /// the regularized convex program ℙ₂ built around the previous slot's
@@ -35,9 +41,12 @@ pub struct OnlineRegularized {
     warm_start: bool,
     repair: bool,
     capacity_mode: CapacityMode,
+    policy: RetryPolicy,
+    fallback: bool,
     last_solution: Option<Vec<f64>>,
     /// Duals of the most recent slot, exposed for the analysis tests.
     last_duals: Option<(Vec<f64>, Vec<f64>)>,
+    last_health: Option<SlotHealth>,
 }
 
 impl OnlineRegularized {
@@ -49,8 +58,11 @@ impl OnlineRegularized {
             warm_start: true,
             repair: true,
             capacity_mode: CapacityMode::Paper10b,
+            policy: RetryPolicy::default(),
+            fallback: true,
             last_solution: None,
             last_duals: None,
+            last_health: None,
         }
     }
 
@@ -97,6 +109,24 @@ impl OnlineRegularized {
         self
     }
 
+    /// Overrides the retry policy that escalates relaxations when the
+    /// barrier fails ([`RetryPolicy::none`] disables re-solves; the per-slot
+    /// LP and carry-forward rungs remain unless [`Self::without_fallback`]).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Disables the degradation ladder entirely: a barrier failure
+    /// propagates from `decide` instead of falling back to relaxed
+    /// re-solves or the per-slot LP (analysis/debugging knob; the runner's
+    /// carry-forward rung still applies when driven via
+    /// [`crate::algorithms::run_online`]).
+    pub fn without_fallback(mut self) -> Self {
+        self.fallback = false;
+        self
+    }
+
     /// The regularization parameters in use.
     pub fn epsilons(&self) -> Epsilons {
         self.eps
@@ -122,6 +152,69 @@ impl OnlineRegularized {
     pub fn theoretical_ratio(&self, system: &crate::system::EdgeCloudSystem) -> f64 {
         1.0 + self.gamma(system) * system.num_clouds() as f64
     }
+
+    /// Rungs 1–2 of the ladder: the ℙ₂ barrier solve with its primary
+    /// options, then escalating relaxations. Level 0 reproduces
+    /// [`p2::solve_with_mode`] exactly (including the phase-I fallback for
+    /// a rejected warm start), so healthy horizons are bit-identical to a
+    /// ladder-free run.
+    fn solve_p2_ladder(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+    ) -> Result<P2Solution> {
+        let solver = p2::build_with_mode(input, prev, self.eps, self.capacity_mode)?;
+        let proportional = p2::proportional_start(input);
+        let warm = if self.warm_start {
+            self.last_solution.as_deref()
+        } else {
+            None
+        };
+        let chosen = warm.or(proportional.as_deref());
+        let levels = if self.fallback {
+            self.policy.max_attempts.max(1)
+        } else {
+            1
+        };
+        let mut last_err: Option<optim::Error> = None;
+        for k in 0..levels {
+            let opts = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+            let start = if k == 0 { chosen } else { None };
+            if k > 0 {
+                health.rung = FallbackRung::RelaxedTolerance;
+            }
+            health.attempts += 1;
+            let attempt = match solver.solve(start, &opts) {
+                // A supplied start can be (numerically) on the boundary;
+                // drop to phase-I at the *same* options before relaxing.
+                Err(optim::Error::BadStartingPoint(_)) if k == 0 && start.is_some() => {
+                    health.attempts += 1;
+                    solver.solve(None, &opts)
+                }
+                other => other,
+            };
+            match attempt {
+                Ok(sol) => {
+                    health.final_residual = sol.stats.gap;
+                    return Ok(p2::solution_from_barrier(input, sol));
+                }
+                Err(err) => {
+                    if let optim::Error::MaxIterations { residual, .. } = err {
+                        health.final_residual = residual;
+                    }
+                    health.note_error(&err);
+                    if !resilience::retryable(&err) {
+                        return Err(err.into());
+                    }
+                    last_err = Some(err);
+                }
+            }
+        }
+        Err(last_err
+            .expect("loop runs at least once and only exits Err with an error recorded")
+            .into())
+    }
 }
 
 impl OnlineAlgorithm for OnlineRegularized {
@@ -130,24 +223,74 @@ impl OnlineAlgorithm for OnlineRegularized {
     }
 
     fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation> {
-        let start = if self.warm_start {
-            self.last_solution.as_deref()
-        } else {
-            None
+        let clock = Instant::now();
+        let mut health = SlotHealth::primary();
+        let mut allocation = match self.solve_p2_ladder(input, prev, &mut health) {
+            Ok(sol) => {
+                self.last_solution = Some(sol.allocation.as_flat().to_vec());
+                self.last_duals = Some((sol.theta, sol.rho));
+                sol.allocation
+            }
+            Err(err) if self.fallback => {
+                // Rung 3: the entropy-free per-slot LP — the linearized
+                // slot objective, no regularizers, exact dynamic costs.
+                health.rung = FallbackRung::PerSlotLp;
+                let mut lp = base_lp(
+                    input,
+                    StaticTerms {
+                        operation: true,
+                        quality: true,
+                    },
+                );
+                add_dynamic_terms(&mut lp, input, prev);
+                let (result, report) = solve_to_allocation_resilient(&lp, input, &self.policy);
+                health.attempts += report.attempts;
+                match result {
+                    Ok(x) => {
+                        health.final_residual = report.final_residual;
+                        // The LP rung carries no ℙ₂ duals; clear the stale
+                        // ones rather than expose the wrong slot's.
+                        self.last_solution = Some(x.as_flat().to_vec());
+                        self.last_duals = None;
+                        x
+                    }
+                    Err(lp_err) => {
+                        health.note_error(&lp_err);
+                        health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                        self.last_health = Some(health);
+                        return Err(err);
+                    }
+                }
+            }
+            Err(err) => {
+                health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                self.last_health = Some(health);
+                return Err(err);
+            }
         };
-        let sol = p2::solve_with_mode(input, prev, self.eps, start, &self.options, self.capacity_mode)?;
-        self.last_solution = Some(sol.allocation.as_flat().to_vec());
-        self.last_duals = Some((sol.theta, sol.rho));
-        let mut allocation = sol.allocation;
         if self.repair {
-            repair_capacity(input, &mut allocation)?;
+            // Best-effort: a structurally infeasible slot (demand above
+            // total capacity) leaves a deficit, which is flagged rather
+            // than failing the slot — the allocation still respects
+            // capacities and serves as much demand as possible.
+            if let Err(repair_err) = repair_capacity(input, &mut allocation) {
+                health.note_error(&repair_err);
+            }
+            health.repaired = true;
         }
+        health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+        self.last_health = Some(health);
         Ok(allocation)
+    }
+
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        self.last_health.take()
     }
 
     fn reset(&mut self) {
         self.last_solution = None;
         self.last_duals = None;
+        self.last_health = None;
     }
 }
 
@@ -210,10 +353,12 @@ pub fn repair_capacity(input: &SlotInput<'_>, x: &mut Allocation) -> Result<()> 
             input.weights.operation * input.operation_prices[i]
                 + input.weights.quality * input.system.delay(l, i) / input.workloads[j]
         };
+        // Corrupted (NaN) costs sort as equal instead of panicking — the
+        // repair rung must survive even un-sanitized inputs.
         order.sort_by(|&a, &b| {
             unit_cost(a)
                 .partial_cmp(&unit_cost(b))
-                .expect("finite costs")
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for i in order {
             if deficit <= 1e-12 {
@@ -302,5 +447,84 @@ mod tests {
         assert!(alg.last_duals().is_some());
         alg.reset();
         assert!(alg.last_duals().is_none());
+    }
+
+    #[test]
+    fn healthy_run_records_primary_on_every_slot() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        assert_eq!(traj.health.len(), traj.allocations.len());
+        for h in &traj.health {
+            assert_eq!(h.rung, FallbackRung::Primary);
+            assert!(!h.sanitized);
+            assert!(h.errors.is_empty(), "{:?}", h.errors);
+            assert!(h.final_residual.is_finite());
+        }
+        assert_eq!(traj.health_summary().degraded_slots, 0);
+    }
+
+    #[test]
+    fn crippled_barrier_still_covers_the_horizon() {
+        // One outer iteration cannot close the duality gap; the ladder must
+        // still produce an allocation (and a recorded rung) for every slot.
+        let inst = Instance::fig1_example(2.1, true);
+        let crippled = BarrierOptions {
+            max_outer: 1,
+            ..BarrierOptions::default()
+        };
+        let mut alg = OnlineRegularized::with_defaults().with_solver_options(crippled);
+        let traj = run_online(&inst, &mut alg).unwrap();
+        assert_eq!(traj.allocations.len(), inst.num_slots());
+        assert_eq!(traj.health.len(), inst.num_slots());
+        for (t, (x, h)) in traj.allocations.iter().zip(&traj.health).enumerate() {
+            assert_ne!(h.rung, FallbackRung::Primary, "slot {t} claims a clean solve");
+            assert!(h.attempts > 1, "slot {t} recorded {} attempt(s)", h.attempts);
+            assert!(!h.errors.is_empty(), "slot {t} swallowed no error");
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-4, "slot {t}");
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-4, "slot {t}");
+        }
+        let cost = evaluate_trajectory(&inst, &traj.allocations).total();
+        assert!(cost.is_finite() && cost > 0.0, "cost {cost}");
+    }
+
+    #[test]
+    fn no_retry_policy_drops_straight_to_per_slot_lp() {
+        let inst = Instance::fig1_example(2.1, true);
+        let crippled = BarrierOptions {
+            max_outer: 1,
+            ..BarrierOptions::default()
+        };
+        let mut alg = OnlineRegularized::with_defaults()
+            .with_solver_options(crippled)
+            .with_retry_policy(RetryPolicy::none());
+        let traj = run_online(&inst, &mut alg).unwrap();
+        for (t, h) in traj.health.iter().enumerate() {
+            assert_eq!(h.rung, FallbackRung::PerSlotLp, "slot {t}: {:?}", h.rung);
+        }
+        assert_eq!(traj.health_summary().rungs.per_slot_lp, inst.num_slots());
+    }
+
+    #[test]
+    fn without_fallback_degrades_to_carry_forward() {
+        let inst = Instance::fig1_example(2.1, true);
+        let crippled = BarrierOptions {
+            max_outer: 1,
+            ..BarrierOptions::default()
+        };
+        let mut alg = OnlineRegularized::with_defaults()
+            .with_solver_options(crippled)
+            .with_retry_policy(RetryPolicy::none())
+            .without_fallback();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        // Every decide fails outright, so the runner's final rung carries
+        // the previous allocation forward — starting from all-zeros the
+        // repair itself must build a demand-covering allocation.
+        for (t, (x, h)) in traj.allocations.iter().zip(&traj.health).enumerate() {
+            assert_eq!(h.rung, FallbackRung::CarryForward, "slot {t}");
+            assert!(h.repaired, "slot {t}");
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-6, "slot {t}");
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-6, "slot {t}");
+        }
     }
 }

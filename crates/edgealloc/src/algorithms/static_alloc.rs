@@ -8,8 +8,10 @@
 
 use crate::algorithms::{OnlineAlgorithm, SlotInput};
 use crate::allocation::Allocation;
-use crate::programs::per_slot_lp::{base_lp, solve_to_allocation, StaticTerms};
+use crate::health::SlotHealth;
+use crate::programs::per_slot_lp::{base_lp, solve_to_allocation_resilient, StaticTerms};
 use crate::Result;
+use optim::resilience::RetryPolicy;
 
 /// Which static allocation is frozen at the first slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,7 @@ pub enum StaticVariant {
 pub struct StaticPolicy {
     variant: StaticVariant,
     frozen: Option<Allocation>,
+    last_health: Option<SlotHealth>,
 }
 
 impl StaticPolicy {
@@ -38,13 +41,14 @@ impl StaticPolicy {
         StaticPolicy {
             variant,
             frozen: None,
+            last_health: None,
         }
     }
 
-    fn initial(&self, input: &SlotInput<'_>) -> Result<Allocation> {
+    fn initial(&mut self, input: &SlotInput<'_>) -> Result<Allocation> {
         let num_clouds = input.num_clouds();
         let num_users = input.num_users();
-        match self.variant {
+        let terms = match self.variant {
             StaticVariant::Proportional => {
                 let total_cap = input.system.total_capacity();
                 let mut x = Allocation::zeros(num_clouds, num_users);
@@ -54,32 +58,24 @@ impl StaticPolicy {
                         x.set(i, j, input.workloads[j] * share);
                     }
                 }
-                Ok(x)
+                return Ok(x);
             }
-            StaticVariant::FirstSlotOpt => {
-                let lp = base_lp(
-                    input,
-                    StaticTerms {
-                        operation: true,
-                        quality: true,
-                    },
-                );
-                solve_to_allocation(&lp, input)
-            }
-            StaticVariant::Local => {
-                // Serve locally; spill each cloud's excess over the others
-                // proportionally to remaining capacity via a quality-only LP
-                // (equivalent to the natural "nearest with spillover").
-                let lp = base_lp(
-                    input,
-                    StaticTerms {
-                        operation: false,
-                        quality: true,
-                    },
-                );
-                solve_to_allocation(&lp, input)
-            }
-        }
+            StaticVariant::FirstSlotOpt => StaticTerms {
+                operation: true,
+                quality: true,
+            },
+            // Serve locally; spill each cloud's excess over the others
+            // proportionally to remaining capacity via a quality-only LP
+            // (equivalent to the natural "nearest with spillover").
+            StaticVariant::Local => StaticTerms {
+                operation: false,
+                quality: true,
+            },
+        };
+        let lp = base_lp(input, terms);
+        let (result, report) = solve_to_allocation_resilient(&lp, input, &RetryPolicy::default());
+        self.last_health = Some(SlotHealth::from_lp_report(&report));
+        result
     }
 }
 
@@ -99,8 +95,13 @@ impl OnlineAlgorithm for StaticPolicy {
         Ok(self.frozen.clone().expect("frozen allocation just set"))
     }
 
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        self.last_health.take()
+    }
+
     fn reset(&mut self) {
         self.frozen = None;
+        self.last_health = None;
     }
 }
 

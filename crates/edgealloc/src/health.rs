@@ -1,0 +1,257 @@
+//! Per-slot solve health: which rung of the degradation ladder produced
+//! each slot's allocation, and aggregate summaries for reporting.
+//!
+//! The online pipeline (see [`crate::algorithms::run_online`]) must emit a
+//! decision every slot even when a solver breaks down. Instead of aborting
+//! the horizon, each algorithm walks a degradation ladder:
+//!
+//! 1. [`FallbackRung::Primary`] — the intended solver with its primary
+//!    options succeeded.
+//! 2. [`FallbackRung::RelaxedTolerance`] — a re-solve with escalating
+//!    relaxations (see [`optim::resilience`]) succeeded.
+//! 3. [`FallbackRung::PerSlotLp`] — the entropy-free per-slot LP (the
+//!    linearized slot objective) succeeded where the barrier could not.
+//! 4. [`FallbackRung::CarryForward`] — the previous slot's allocation was
+//!    carried forward and repaired with
+//!    [`crate::algorithms::repair_capacity`].
+//!
+//! Every slot records which rung produced its allocation in a
+//! [`SlotHealth`], collected on the
+//! [`crate::algorithms::Trajectory`]. [`HealthSummary`] condenses a
+//! trajectory for scenario-level reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Which rung of the degradation ladder produced a slot's allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackRung {
+    /// The intended solver converged with its primary options.
+    Primary,
+    /// A retry with relaxed options (or the exact-simplex rung of an LP
+    /// retry chain) converged.
+    RelaxedTolerance,
+    /// The entropy-free per-slot LP converged after the barrier gave up.
+    PerSlotLp,
+    /// The previous allocation was carried forward and repaired.
+    CarryForward,
+}
+
+/// What happened while deciding one slot, whatever the outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotHealth {
+    /// The ladder rung that produced the slot's allocation.
+    pub rung: FallbackRung,
+    /// Total solve attempts across all rungs (1 = clean first solve).
+    pub attempts: usize,
+    /// Residual of the accepted solve: the certified duality gap for the
+    /// barrier, the maximum constraint violation for LPs, NaN when no
+    /// solver produced the allocation (carry-forward).
+    pub final_residual: f64,
+    /// Wall time spent deciding the slot, in milliseconds.
+    pub wall_time_ms: f64,
+    /// Whether [`crate::algorithms::repair_capacity`] was applied.
+    pub repaired: bool,
+    /// Whether the slot's inputs were sanitized (non-finite or negative
+    /// data replaced) before solving.
+    pub sanitized: bool,
+    /// Errors swallowed along the way (the failures that pushed the
+    /// decision down the ladder), newest last.
+    pub errors: Vec<String>,
+}
+
+impl SlotHealth {
+    /// A pristine slot: first attempt, primary rung, nothing repaired.
+    pub fn primary() -> Self {
+        SlotHealth {
+            rung: FallbackRung::Primary,
+            attempts: 1,
+            final_residual: f64::NAN,
+            wall_time_ms: 0.0,
+            repaired: false,
+            sanitized: false,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Builds a slot record from an LP [`SolveReport`]. A degraded report
+    /// maps to [`FallbackRung::RelaxedTolerance`]: the LP retry chain's
+    /// relaxations and exact-simplex rung re-solve the *same* program with
+    /// escalating options, they do not substitute a different one.
+    ///
+    /// [`SolveReport`]: optim::resilience::SolveReport
+    pub fn from_lp_report(report: &optim::resilience::SolveReport) -> Self {
+        SlotHealth {
+            rung: if report.degraded() {
+                FallbackRung::RelaxedTolerance
+            } else {
+                FallbackRung::Primary
+            },
+            attempts: report.attempts.max(1),
+            final_residual: report.final_residual,
+            wall_time_ms: report.wall_time_ms,
+            repaired: false,
+            sanitized: false,
+            errors: report.error.iter().cloned().collect(),
+        }
+    }
+
+    /// Records a swallowed error.
+    pub fn note_error(&mut self, err: impl std::fmt::Display) {
+        self.errors.push(err.to_string());
+    }
+
+    /// Whether anything beyond the primary clean path happened.
+    pub fn degraded(&self) -> bool {
+        self.rung != FallbackRung::Primary || self.sanitized || !self.errors.is_empty()
+    }
+}
+
+/// Per-rung slot counts of one trajectory (or merged across many).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RungCounts {
+    /// Slots decided on [`FallbackRung::Primary`].
+    pub primary: usize,
+    /// Slots decided on [`FallbackRung::RelaxedTolerance`].
+    pub relaxed_tolerance: usize,
+    /// Slots decided on [`FallbackRung::PerSlotLp`].
+    pub per_slot_lp: usize,
+    /// Slots decided on [`FallbackRung::CarryForward`].
+    pub carry_forward: usize,
+}
+
+impl RungCounts {
+    /// Counts one slot.
+    pub fn record(&mut self, rung: FallbackRung) {
+        match rung {
+            FallbackRung::Primary => self.primary += 1,
+            FallbackRung::RelaxedTolerance => self.relaxed_tolerance += 1,
+            FallbackRung::PerSlotLp => self.per_slot_lp += 1,
+            FallbackRung::CarryForward => self.carry_forward += 1,
+        }
+    }
+
+    /// Adds another count set into this one.
+    pub fn merge(&mut self, other: &RungCounts) {
+        self.primary += other.primary;
+        self.relaxed_tolerance += other.relaxed_tolerance;
+        self.per_slot_lp += other.per_slot_lp;
+        self.carry_forward += other.carry_forward;
+    }
+
+    /// Total slots counted.
+    pub fn total(&self) -> usize {
+        self.primary + self.relaxed_tolerance + self.per_slot_lp + self.carry_forward
+    }
+}
+
+/// Aggregate health of one trajectory (one algorithm × one repetition), or
+/// of several merged together.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HealthSummary {
+    /// Total slots covered.
+    pub slots: usize,
+    /// Slots where anything beyond the clean primary path happened.
+    pub degraded_slots: usize,
+    /// Slots whose inputs needed sanitization before solving.
+    pub sanitized_slots: usize,
+    /// Slots whose allocation needed fallback rungs, by rung.
+    pub rungs: RungCounts,
+}
+
+impl HealthSummary {
+    /// Summarizes a trajectory's per-slot health records.
+    pub fn from_slots(slots: &[SlotHealth]) -> Self {
+        let mut summary = HealthSummary {
+            slots: slots.len(),
+            ..HealthSummary::default()
+        };
+        for h in slots {
+            if h.degraded() {
+                summary.degraded_slots += 1;
+            }
+            if h.sanitized {
+                summary.sanitized_slots += 1;
+            }
+            summary.rungs.record(h.rung);
+        }
+        summary
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &HealthSummary) {
+        self.slots += other.slots;
+        self.degraded_slots += other.degraded_slots;
+        self.sanitized_slots += other.sanitized_slots;
+        self.rungs.merge(&other.rungs);
+    }
+
+    /// Fraction of slots that degraded (0 when no slots were recorded).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.degraded_slots as f64 / self.slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_slot_is_not_degraded() {
+        let h = SlotHealth::primary();
+        assert!(!h.degraded());
+        assert_eq!(h.rung, FallbackRung::Primary);
+        assert_eq!(h.attempts, 1);
+    }
+
+    #[test]
+    fn noting_an_error_marks_degraded() {
+        let mut h = SlotHealth::primary();
+        h.note_error("solver wobbled");
+        assert!(h.degraded());
+        assert_eq!(h.errors.len(), 1);
+    }
+
+    #[test]
+    fn summary_counts_rungs_and_degradation() {
+        let mut a = SlotHealth::primary();
+        a.rung = FallbackRung::CarryForward;
+        let mut b = SlotHealth::primary();
+        b.sanitized = true;
+        let clean = SlotHealth::primary();
+        let s = HealthSummary::from_slots(&[a, b, clean]);
+        assert_eq!(s.slots, 3);
+        assert_eq!(s.degraded_slots, 2);
+        assert_eq!(s.sanitized_slots, 1);
+        assert_eq!(s.rungs.carry_forward, 1);
+        assert_eq!(s.rungs.primary, 2);
+        assert_eq!(s.rungs.total(), 3);
+        assert!((s.degraded_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_merge_additively() {
+        let mut x = HealthSummary::from_slots(&[SlotHealth::primary()]);
+        let mut carry = SlotHealth::primary();
+        carry.rung = FallbackRung::CarryForward;
+        let y = HealthSummary::from_slots(&[carry]);
+        x.merge(&y);
+        assert_eq!(x.slots, 2);
+        assert_eq!(x.degraded_slots, 1);
+        assert_eq!(x.rungs.carry_forward, 1);
+    }
+
+    #[test]
+    fn health_round_trips_through_serde() {
+        let mut h = SlotHealth::primary();
+        h.rung = FallbackRung::PerSlotLp;
+        h.note_error("boom");
+        let json = serde_json::to_string(&h).unwrap();
+        let back: SlotHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rung, FallbackRung::PerSlotLp);
+        assert_eq!(back.errors, vec!["boom".to_string()]);
+    }
+}

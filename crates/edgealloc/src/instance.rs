@@ -121,6 +121,18 @@ impl Instance {
                 return Err(Error::Invalid(format!("negative {name} price")));
             }
         }
+        for (name, w) in [
+            ("operation", weights.operation),
+            ("quality", weights.quality),
+            ("reconfig", weights.reconfig),
+            ("migration", weights.migration),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::Invalid(format!(
+                    "{name} cost weight must be finite and non-negative, got {w}"
+                )));
+            }
+        }
         let total_workload: f64 = workloads.iter().sum();
         if system.total_capacity() < total_workload {
             return Err(Error::Invalid(format!(
@@ -405,6 +417,59 @@ impl Instance {
         inst.weights = weights;
         inst
     }
+
+    /// Overwrites one operation price **without validation** — the value
+    /// may be negative or non-finite. This deliberately breaks the
+    /// invariants [`Instance::new`] established; it exists for fault
+    /// injection (see `sim::faults`). Use [`Instance::sanitized`] or the
+    /// online pipeline's per-slot sanitization to restore well-formedness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `i` is out of range.
+    pub fn inject_operation_price(&mut self, t: usize, i: usize, value: f64) {
+        self.operation_prices[t][i] = value;
+    }
+
+    /// Overwrites one workload **without validation** — same caveats as
+    /// [`Instance::inject_operation_price`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn inject_workload(&mut self, j: usize, value: f64) {
+        self.workloads[j] = value;
+    }
+
+    /// Unchecked mutable access to the system, for fault injection via
+    /// [`EdgeCloudSystem::inject_capacity`] and
+    /// [`EdgeCloudSystem::inject_delay`]. Mutations bypass all validation.
+    pub fn system_mut(&mut self) -> &mut EdgeCloudSystem {
+        &mut self.system
+    }
+
+    /// Returns a copy with all corrupted values repaired (see the rules in
+    /// [`crate::sanitize`]) plus one note per repaired value; the notes are
+    /// empty when the instance was already well-formed. Structural problems
+    /// — total demand exceeding total capacity, for instance — are *not*
+    /// "repaired": they are real, and the degradation ladder handles them.
+    pub fn sanitized(&self) -> (Self, Vec<String>) {
+        let mut inst = self.clone();
+        let mut notes = Vec::new();
+        crate::sanitize::fix_workloads(&mut inst.workloads, &mut notes);
+        for (t, row) in inst.operation_prices.iter_mut().enumerate() {
+            let before = notes.len();
+            crate::sanitize::fix_prices(row, "operation_price", &mut notes);
+            for note in &mut notes[before..] {
+                note.push_str(&format!(" (slot {t})"));
+            }
+        }
+        crate::sanitize::fix_prices(&mut inst.reconfig_prices, "reconfig_price", &mut notes);
+        crate::sanitize::fix_prices(&mut inst.migration_out, "migration_out", &mut notes);
+        crate::sanitize::fix_prices(&mut inst.migration_in, "migration_in", &mut notes);
+        crate::sanitize::fix_system(&mut inst.system, &mut notes);
+        (inst, notes)
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +538,98 @@ mod tests {
             CostWeights::default(),
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_nan_operation_price() {
+        let system = EdgeCloudSystem::new(vec![10.0], vec![vec![0.0]]).unwrap();
+        let mob = MobilityInput::new(1, vec![vec![0]], vec![vec![0.0]]);
+        let r = Instance::new(
+            system,
+            vec![1.0],
+            mob,
+            vec![vec![f64::NAN]],
+            vec![1.0],
+            vec![0.5],
+            vec![0.5],
+            CostWeights::default(),
+        );
+        assert!(matches!(r, Err(Error::Invalid(_))), "{r:?}");
+    }
+
+    #[test]
+    fn rejects_nan_workload() {
+        let system = EdgeCloudSystem::new(vec![10.0], vec![vec![0.0]]).unwrap();
+        let mob = MobilityInput::new(1, vec![vec![0]], vec![vec![0.0]]);
+        let r = Instance::new(
+            system,
+            vec![f64::NAN],
+            mob,
+            vec![vec![1.0]],
+            vec![1.0],
+            vec![0.5],
+            vec![0.5],
+            CostWeights::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_negative_migration_price() {
+        let system = EdgeCloudSystem::new(vec![10.0], vec![vec![0.0]]).unwrap();
+        let mob = MobilityInput::new(1, vec![vec![0]], vec![vec![0.0]]);
+        let r = Instance::new(
+            system,
+            vec![1.0],
+            mob,
+            vec![vec![1.0]],
+            vec![1.0],
+            vec![-0.5],
+            vec![0.5],
+            CostWeights::default(),
+        );
+        assert!(matches!(r, Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_non_finite_weights() {
+        let system = EdgeCloudSystem::new(vec![10.0], vec![vec![0.0]]).unwrap();
+        let mob = MobilityInput::new(1, vec![vec![0]], vec![vec![0.0]]);
+        let r = Instance::new(
+            system,
+            vec![1.0],
+            mob,
+            vec![vec![1.0]],
+            vec![1.0],
+            vec![0.5],
+            vec![0.5],
+            CostWeights {
+                operation: f64::INFINITY,
+                ..CostWeights::default()
+            },
+        );
+        assert!(matches!(r, Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_system_is_rejected_at_system_level() {
+        assert!(EdgeCloudSystem::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn sanitized_repairs_injected_corruption() {
+        let mut inst = Instance::fig1_example(2.1, true);
+        inst.inject_operation_price(1, 0, f64::NAN);
+        inst.inject_workload(0, -3.0);
+        inst.system_mut().inject_delay(0, 1, f64::INFINITY);
+        let (clean, notes) = inst.sanitized();
+        assert_eq!(notes.len(), 3, "{notes:?}");
+        assert!(clean.operation_price(0, 1).is_finite());
+        assert_eq!(clean.workload(0), 1.0);
+        assert!(clean.system().delay(0, 1).is_finite());
+        // A clean instance sanitizes to itself.
+        let (_, no_notes) = clean.sanitized();
+        assert!(no_notes.is_empty(), "{no_notes:?}");
     }
 
     #[test]

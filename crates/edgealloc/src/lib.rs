@@ -47,18 +47,21 @@
 pub mod algorithms;
 pub mod allocation;
 pub mod cost;
+pub mod health;
 pub mod instance;
 pub mod programs;
 pub mod ratio;
 pub mod rounding;
+pub mod sanitize;
 pub mod system;
 pub mod transform;
 
 use std::fmt;
 
-pub use algorithms::{run_online, OnlineAlgorithm, SlotInput};
+pub use algorithms::{run_online, OnlineAlgorithm, SlotInput, Trajectory};
 pub use allocation::Allocation;
 pub use cost::{evaluate_trajectory, CostBreakdown, CostWeights};
+pub use health::{FallbackRung, HealthSummary, RungCounts, SlotHealth};
 pub use instance::Instance;
 pub use system::EdgeCloudSystem;
 
@@ -66,10 +69,11 @@ pub use system::EdgeCloudSystem;
 pub mod prelude {
     pub use crate::algorithms::{
         run_online, solve_offline, OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt,
-        PerfOpt, StatOpt, StaticPolicy,
+        PerfOpt, StatOpt, StaticPolicy, Trajectory,
     };
     pub use crate::allocation::Allocation;
     pub use crate::cost::{evaluate_trajectory, CostBreakdown, CostWeights};
+    pub use crate::health::{FallbackRung, HealthSummary, RungCounts, SlotHealth};
     pub use crate::instance::Instance;
     pub use crate::ratio::competitive_ratio;
     pub use crate::system::EdgeCloudSystem;

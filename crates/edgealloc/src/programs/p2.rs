@@ -110,8 +110,11 @@ pub fn build_with_mode(
         let c_tilde = w.reconfig * input.reconfig_prices[i];
         let b_tilde = w.migration * input.migration_total(i);
         let eta = (1.0 + cap / eps.eps1).ln();
-        // Per-cloud aggregate regularizer (reconfiguration smoothing).
-        if c_tilde > 0.0 {
+        // Per-cloud aggregate regularizer (reconfiguration smoothing). A
+        // degenerate η — zero for a zero-capacity (down) cloud, non-finite
+        // for corrupted capacities — would poison the objective, so such
+        // clouds simply lose their smoothing term.
+        if c_tilde > 0.0 && eta.is_finite() && eta > 0.0 {
             let members: Vec<usize> = (0..num_users).map(|j| i * num_users + j).collect();
             f.add_group(
                 members,
@@ -129,10 +132,17 @@ pub fn build_with_mode(
             // Linear part: operation + service quality.
             let lin = w.operation * input.operation_prices[i]
                 + w.quality * input.system.delay(l, i) / lambda;
+            if !lin.is_finite() {
+                return Err(Error::Invalid(format!(
+                    "non-finite objective coefficient for cloud {i}, user {j} \
+                     (corrupted prices or delays; sanitize the input first)"
+                )));
+            }
             f.add_term(k, ScalarTerm::Linear { coef: lin });
-            // Per-(i,j) regularizer (migration smoothing).
-            if b_tilde > 0.0 {
-                let tau = (1.0 + lambda / eps.eps2).ln();
+            // Per-(i,j) regularizer (migration smoothing); τ degenerates
+            // like η does when λ_j is corrupted.
+            let tau = (1.0 + lambda / eps.eps2).ln();
+            if b_tilde > 0.0 && tau.is_finite() && tau > 0.0 {
                 f.add_term(
                     k,
                     ScalarTerm::RelativeEntropy {
@@ -247,14 +257,25 @@ pub fn solve_with_mode(
         Err(optim::Error::BadStartingPoint(_)) => solver.solve(None, opts)?,
         Err(e) => return Err(e.into()),
     };
+    Ok(solution_from_barrier(input, sol))
+}
+
+/// Unpacks a raw barrier solution of a ℙ₂ program into a [`P2Solution`]
+/// (allocation + the duals the analysis needs). Shared by [`solve`] and the
+/// degradation ladder in [`crate::algorithms::OnlineRegularized`], which
+/// drives the barrier solver itself to control retries.
+pub fn solution_from_barrier(
+    input: &SlotInput<'_>,
+    sol: optim::convex::BarrierSolution,
+) -> P2Solution {
     let num_users = input.num_users();
     let allocation = Allocation::from_flat(input.num_clouds(), num_users, sol.x);
-    Ok(P2Solution {
+    P2Solution {
         theta: sol.row_duals[..num_users].to_vec(),
         rho: sol.row_duals[num_users..].to_vec(),
         objective: sol.objective,
         allocation,
-    })
+    }
 }
 
 #[cfg(test)]

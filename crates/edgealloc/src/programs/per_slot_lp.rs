@@ -15,7 +15,8 @@
 use crate::algorithms::SlotInput;
 use crate::allocation::Allocation;
 use crate::Result;
-use optim::lp::{ConstraintSense, LpProblem};
+use optim::lp::{ConstraintSense, IpmOptions, LpProblem};
+use optim::resilience::{solve_lp_with_retry, RetryPolicy, SolveReport};
 
 /// Which static cost components the objective includes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,23 @@ pub fn solve_to_allocation(lp: &LpProblem, input: &SlotInput<'_>) -> Result<Allo
         input.num_users(),
         sol.x[..n].to_vec(),
     ))
+}
+
+/// [`solve_to_allocation`] under a [`RetryPolicy`]: interior-point attempts
+/// escalate through relaxed options and may finish on the exact-simplex
+/// rung. Returns the allocation (or the last error) together with the
+/// [`SolveReport`] describing which rung produced it.
+pub fn solve_to_allocation_resilient(
+    lp: &LpProblem,
+    input: &SlotInput<'_>,
+    policy: &RetryPolicy,
+) -> (Result<Allocation>, SolveReport) {
+    let (result, report) = solve_lp_with_retry(lp, &IpmOptions::default(), policy);
+    let n = input.num_clouds() * input.num_users();
+    let allocation = result.map_err(crate::Error::from).map(|sol| {
+        Allocation::from_flat(input.num_clouds(), input.num_users(), sol.x[..n].to_vec())
+    });
+    (allocation, report)
 }
 
 #[cfg(test)]

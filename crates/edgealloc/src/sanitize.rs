@@ -1,0 +1,241 @@
+//! Input sanitization for corrupted instances.
+//!
+//! Fault injection (and real telemetry) can hand the online pipeline
+//! non-finite prices, negative delays, or vanished capacities. Feeding
+//! those to the solvers produces NaN objectives, panics in comparison
+//! sorts, or silent garbage. This module repairs a [`SlotInput`] into a
+//! well-formed copy *before* any solver sees it, reporting exactly what
+//! was changed so the slot can be flagged in its
+//! [`crate::health::SlotHealth`].
+//!
+//! Sanitization is deliberately conservative:
+//!
+//! * a **non-finite price** is replaced by the *largest* finite price of
+//!   its vector (corrupted entries become unattractive, never free);
+//! * a **negative price or delay** is clamped to zero;
+//! * a **non-finite or negative capacity** becomes zero (the cloud is
+//!   treated as down, which the degradation ladder then handles) — an
+//!   exact zero is kept as-is, since "cloud down" is a legitimate state,
+//!   not corruption;
+//! * a **non-finite or non-positive workload** becomes 1 (the paper's
+//!   minimum `λ_j ∈ ℤ⁺`).
+
+use crate::algorithms::SlotInput;
+use crate::system::EdgeCloudSystem;
+
+/// Replacement for a corrupted price: the largest finite entry of the
+/// vector, so the corrupted option never looks artificially cheap.
+fn price_ceiling(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .fold(f64::NAN, f64::max)
+        .max(1.0)
+}
+
+/// Fixes one price vector in place; appends a note per change.
+pub(crate) fn fix_prices(values: &mut [f64], what: &str, notes: &mut Vec<String>) {
+    let ceiling = price_ceiling(values);
+    for (i, v) in values.iter_mut().enumerate() {
+        if !v.is_finite() {
+            notes.push(format!("{what}[{i}] was {v}, set to {ceiling}"));
+            *v = ceiling;
+        } else if *v < 0.0 {
+            notes.push(format!("{what}[{i}] was {v}, clamped to 0"));
+            *v = 0.0;
+        }
+    }
+}
+
+/// Fixes workloads in place (finite and positive, minimum 1).
+pub(crate) fn fix_workloads(values: &mut [f64], notes: &mut Vec<String>) {
+    for (j, l) in values.iter_mut().enumerate() {
+        if !l.is_finite() || !(*l > 0.0) {
+            notes.push(format!("workload[{j}] was {l}, set to 1"));
+            *l = 1.0;
+        }
+    }
+}
+
+/// Fixes a system's capacities and delays in place through the unchecked
+/// injectors: sanitized capacities may legitimately be zero, which
+/// [`EdgeCloudSystem::new`] rejects.
+pub(crate) fn fix_system(system: &mut EdgeCloudSystem, notes: &mut Vec<String>) {
+    let num_clouds = system.num_clouds();
+    let delay_ceiling = {
+        let mut m = 0.0f64;
+        for i in 0..num_clouds {
+            for k in 0..num_clouds {
+                let d = system.delay(i, k);
+                if d.is_finite() && d > m {
+                    m = d;
+                }
+            }
+        }
+        m
+    };
+    for i in 0..num_clouds {
+        let c = system.capacity(i);
+        if !c.is_finite() || c < 0.0 {
+            notes.push(format!("capacity[{i}] was {c}, set to 0"));
+            system.inject_capacity(i, 0.0);
+        }
+        for k in 0..num_clouds {
+            let d = system.delay(i, k);
+            if i == k {
+                if d != 0.0 {
+                    notes.push(format!("delay[{i}][{i}] was {d}, set to 0"));
+                    system.inject_delay(i, k, 0.0);
+                }
+            } else if !d.is_finite() {
+                notes.push(format!("delay[{i}][{k}] was {d}, set to {delay_ceiling}"));
+                system.inject_delay(i, k, delay_ceiling);
+            } else if d < 0.0 {
+                notes.push(format!("delay[{i}][{k}] was {d}, clamped to 0"));
+                system.inject_delay(i, k, 0.0);
+            }
+        }
+    }
+}
+
+/// An owned, well-formed copy of one slot's inputs. Borrow it back into a
+/// [`SlotInput`] with [`SanitizedSlot::as_input`].
+#[derive(Debug, Clone)]
+pub struct SanitizedSlot {
+    system: EdgeCloudSystem,
+    workloads: Vec<f64>,
+    operation_prices: Vec<f64>,
+    access_delay: Vec<f64>,
+    reconfig_prices: Vec<f64>,
+    migration_out: Vec<f64>,
+    migration_in: Vec<f64>,
+}
+
+impl SanitizedSlot {
+    /// The slot view over the sanitized data, preserving the original
+    /// slot index, attachments, and weights.
+    pub fn as_input<'a>(&'a self, raw: &SlotInput<'_>) -> SlotInput<'a> {
+        SlotInput {
+            t: raw.t,
+            system: &self.system,
+            workloads: &self.workloads,
+            operation_prices: &self.operation_prices,
+            attachment: raw.attachment.clone(),
+            access_delay: self.access_delay.clone(),
+            reconfig_prices: &self.reconfig_prices,
+            migration_out: &self.migration_out,
+            migration_in: &self.migration_in,
+            weights: raw.weights,
+        }
+    }
+}
+
+/// Checks a slot's inputs and, when anything is corrupted, returns a
+/// repaired copy plus a note per repaired value. Returns `None` for clean
+/// inputs so the common path stays allocation-free.
+pub fn sanitize_slot(input: &SlotInput<'_>) -> Option<(SanitizedSlot, Vec<String>)> {
+    let mut notes = Vec::new();
+
+    let mut workloads = input.workloads.to_vec();
+    fix_workloads(&mut workloads, &mut notes);
+
+    let mut operation_prices = input.operation_prices.to_vec();
+    fix_prices(&mut operation_prices, "operation_price", &mut notes);
+    let mut reconfig_prices = input.reconfig_prices.to_vec();
+    fix_prices(&mut reconfig_prices, "reconfig_price", &mut notes);
+    let mut migration_out = input.migration_out.to_vec();
+    fix_prices(&mut migration_out, "migration_out", &mut notes);
+    let mut migration_in = input.migration_in.to_vec();
+    fix_prices(&mut migration_in, "migration_in", &mut notes);
+
+    let mut access_delay = input.access_delay.clone();
+    for (j, d) in access_delay.iter_mut().enumerate() {
+        if !d.is_finite() || *d < 0.0 {
+            notes.push(format!("access_delay[{j}] was {d}, clamped to 0"));
+            *d = 0.0;
+        }
+    }
+
+    let mut system = input.system.clone();
+    fix_system(&mut system, &mut notes);
+
+    if notes.is_empty() {
+        return None;
+    }
+    Some((
+        SanitizedSlot {
+            system,
+            workloads,
+            operation_prices,
+            access_delay,
+            reconfig_prices,
+            migration_out,
+            migration_in,
+        },
+        notes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    #[test]
+    fn clean_input_needs_no_sanitization() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = SlotInput::from_instance(&inst, 0);
+        assert!(sanitize_slot(&input).is_none());
+    }
+
+    #[test]
+    fn nan_price_becomes_the_row_ceiling() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut bad = inst.clone();
+        bad.inject_operation_price(0, 1, f64::NAN);
+        let input = SlotInput::from_instance(&bad, 0);
+        let (clean, notes) = sanitize_slot(&input).expect("corruption detected");
+        let fixed = clean.as_input(&input);
+        assert!(fixed.operation_prices.iter().all(|p| p.is_finite()));
+        // The surviving finite price is 1.0, so the ceiling is 1.0.
+        assert_eq!(fixed.operation_prices[1], 1.0);
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn negative_price_clamps_to_zero() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut bad = inst.clone();
+        bad.inject_operation_price(0, 0, -5.0);
+        let input = SlotInput::from_instance(&bad, 0);
+        let (clean, _) = sanitize_slot(&input).unwrap();
+        assert_eq!(clean.as_input(&input).operation_prices[0], 0.0);
+    }
+
+    #[test]
+    fn corrupted_capacity_becomes_zero_but_exact_zero_is_kept_clean() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut bad = inst.clone();
+        bad.system_mut().inject_capacity(0, f64::INFINITY);
+        let input = SlotInput::from_instance(&bad, 0);
+        let (clean, _) = sanitize_slot(&input).unwrap();
+        assert_eq!(clean.as_input(&input).system.capacity(0), 0.0);
+
+        // A cloud that is down (capacity exactly 0) is a state, not a fault.
+        let mut down = inst.clone();
+        down.system_mut().inject_capacity(0, 0.0);
+        let input = SlotInput::from_instance(&down, 0);
+        assert!(sanitize_slot(&input).is_none());
+    }
+
+    #[test]
+    fn nan_workload_becomes_one() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut bad = inst.clone();
+        bad.inject_workload(0, f64::NAN);
+        let input = SlotInput::from_instance(&bad, 0);
+        let (clean, _) = sanitize_slot(&input).unwrap();
+        assert_eq!(clean.as_input(&input).workloads[0], 1.0);
+    }
+}

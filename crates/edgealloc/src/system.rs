@@ -110,6 +110,29 @@ impl EdgeCloudSystem {
     pub fn delay(&self, i: usize, j: usize) -> f64 {
         self.delay[i][j]
     }
+
+    /// Overwrites a capacity **without validation** — the value may be
+    /// zero, negative, or non-finite. This deliberately breaks the type's
+    /// invariants; it exists for fault injection (see `sim::faults`) and
+    /// for the sanitization pass that restores them. Production code must
+    /// go through [`EdgeCloudSystem::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn inject_capacity(&mut self, i: usize, value: f64) {
+        self.capacities[i] = value;
+    }
+
+    /// Overwrites one delay entry **without validation** — same caveats as
+    /// [`EdgeCloudSystem::inject_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn inject_delay(&mut self, i: usize, j: usize, value: f64) {
+        self.delay[i][j] = value;
+    }
 }
 
 #[cfg(test)]

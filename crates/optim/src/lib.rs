@@ -17,6 +17,9 @@
 //!   structure via a dense Schur complement.
 //! * [`model`] — a small modeling layer ("Pyomo-lite") for building linear
 //!   programs from named variables and linear expressions.
+//! * [`resilience`] — retry policies that re-solve with escalating
+//!   relaxations on iteration-limit or numerical breakdown and report what
+//!   happened in a structured [`resilience::SolveReport`].
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod convex;
 pub mod linalg;
 pub mod lp;
 pub mod model;
+pub mod resilience;
 pub mod sparse;
 
 use std::fmt;

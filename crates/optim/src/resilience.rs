@@ -1,0 +1,433 @@
+//! Retry policies for solver breakdowns.
+//!
+//! The online pipeline must produce a decision every slot, so a solver
+//! giving up on [`Error::MaxIterations`] or [`Error::Numerical`] is not an
+//! acceptable terminal state there. This module wraps the barrier and LP
+//! solvers in a [`RetryPolicy`] that re-solves with escalating relaxations
+//! — looser tolerances, larger iteration budgets, stronger regularization,
+//! and (for the barrier) warm-start perturbation toward a fresh interior
+//! point — and reports what happened in a structured [`SolveReport`].
+//!
+//! Proven-structural failures ([`Error::Infeasible`], [`Error::Unbounded`],
+//! [`Error::Dimension`], [`Error::InvalidInput`]) are *not* retried: no
+//! amount of relaxation fixes those, and the caller's degradation ladder
+//! (see the `edgealloc` crate) must take over instead.
+
+use crate::convex::{BarrierOptions, BarrierSolution, BarrierSolver};
+use crate::lp::{IpmOptions, LpProblem, LpSolution};
+use crate::{Error, Result};
+use std::time::Instant;
+
+/// How aggressively to retry a failed solve.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 disables retries).
+    pub max_attempts: usize,
+    /// Factor applied to convergence tolerances per relaxation level.
+    pub tol_relax: f64,
+    /// Factor applied to iteration limits per relaxation level.
+    pub iter_growth: f64,
+    /// Factor applied to the interior-point regularization per level.
+    pub reg_growth: f64,
+    /// Blend weight pulling a rejected warm start toward a freshly computed
+    /// interior point on the first barrier retry (`0` keeps the start,
+    /// `1` discards it).
+    pub start_blend: f64,
+    /// Whether LP retries may finish with the dense simplex as a last rung
+    /// (exact but `O(rows·cols)` per pivot — keep off for huge LPs).
+    pub simplex_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            tol_relax: 100.0,
+            iter_growth: 2.0,
+            reg_growth: 100.0,
+            start_blend: 0.5,
+            simplex_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no simplex rung).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            simplex_fallback: false,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// What a retried solve did, whether it succeeded or not.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SolveReport {
+    /// Solve attempts made (1 = the primary options sufficed).
+    pub attempts: usize,
+    /// Relaxation level of the attempt that produced the returned result
+    /// (0 = primary options; for LPs the simplex rung counts one past the
+    /// last interior-point level).
+    pub fallback_level: usize,
+    /// Residual reported by the last attempt: the certified duality gap on
+    /// success, the error's residual on iteration-limit failures, NaN when
+    /// no residual applies.
+    pub final_residual: f64,
+    /// Total wall time across all attempts, in milliseconds.
+    pub wall_time_ms: f64,
+    /// Whether a solution was returned.
+    pub converged: bool,
+    /// Description of the final error when `converged` is false.
+    pub error: Option<String>,
+}
+
+impl SolveReport {
+    fn start() -> Self {
+        SolveReport {
+            attempts: 0,
+            fallback_level: 0,
+            final_residual: f64::NAN,
+            wall_time_ms: 0.0,
+            converged: false,
+            error: None,
+        }
+    }
+
+    /// Whether the solve needed any relaxation at all.
+    pub fn degraded(&self) -> bool {
+        self.fallback_level > 0 || !self.converged
+    }
+}
+
+/// Whether relaxing options could plausibly fix this failure. Structural
+/// verdicts (infeasible, unbounded, malformed input) are final; iteration
+/// limits, numerical breakdowns, and rejected starting points are worth
+/// another attempt with different options. Callers building their own
+/// degradation ladders (see the `edgealloc` crate) use this to decide
+/// whether to keep escalating or to jump straight to the next rung.
+pub fn retryable(err: &Error) -> bool {
+    matches!(
+        err,
+        Error::MaxIterations { .. } | Error::Numerical(_) | Error::BadStartingPoint(_)
+    )
+}
+
+fn residual_of(err: &Error) -> f64 {
+    match err {
+        Error::MaxIterations { residual, .. } => *residual,
+        _ => f64::NAN,
+    }
+}
+
+/// The barrier options at relaxation level `k`: looser tolerances, larger
+/// Newton/outer budgets, and a gentler barrier growth factor (smaller `mu`
+/// keeps Newton centering well-conditioned when the primary schedule broke
+/// down).
+pub fn relaxed_barrier_options(base: &BarrierOptions, policy: &RetryPolicy, k: usize) -> BarrierOptions {
+    let relax = policy.tol_relax.powi(k as i32);
+    let growth = policy.iter_growth.powi(k as i32);
+    BarrierOptions {
+        t0: base.t0,
+        mu: if k == 0 { base.mu } else { (base.mu / 2f64.powi(k as i32)).max(2.0) },
+        tol: (base.tol * relax).min(1e-2),
+        inner_tol: (base.inner_tol * relax).min(1e-4),
+        max_newton: ((base.max_newton as f64) * growth).ceil() as usize,
+        max_outer: ((base.max_outer as f64) * growth).ceil() as usize,
+    }
+}
+
+/// The interior-point options at relaxation level `k`: looser tolerance,
+/// more iterations, stronger regularization, shorter steps.
+pub fn relaxed_ipm_options(base: &IpmOptions, policy: &RetryPolicy, k: usize) -> IpmOptions {
+    let ki = k as i32;
+    IpmOptions {
+        tol: (base.tol * policy.tol_relax.powi(ki)).min(1e-3),
+        max_iters: ((base.max_iters as f64) * policy.iter_growth.powi(ki)).ceil() as usize,
+        reg: base.reg * policy.reg_growth.powi(ki),
+        step_scale: (base.step_scale * 0.99f64.powi(ki)).max(0.9),
+        use_ordering: base.use_ordering,
+    }
+}
+
+/// Solves a barrier program under a retry policy.
+///
+/// Attempt 0 uses `opts` and `x0` as given. Each later attempt relaxes the
+/// options one level ([`relaxed_barrier_options`]); the first retry also
+/// blends the warm start toward a freshly computed interior point (both are
+/// strictly feasible and the feasible set is convex, so the blend is too),
+/// and subsequent retries drop the warm start entirely.
+///
+/// # Errors
+///
+/// Returns the last attempt's error when every attempt fails, or
+/// immediately on non-retryable failures (infeasibility etc.). The
+/// [`SolveReport`] describes the outcome either way.
+pub fn solve_barrier_with_retry(
+    solver: &BarrierSolver,
+    x0: Option<&[f64]>,
+    opts: &BarrierOptions,
+    policy: &RetryPolicy,
+) -> (Result<BarrierSolution>, SolveReport) {
+    let clock = Instant::now();
+    let mut report = SolveReport::start();
+    let attempts = policy.max_attempts.max(1);
+    let mut blended: Option<Vec<f64>>;
+    let mut last_err = Error::Numerical("no attempts made".into());
+    for k in 0..attempts {
+        let level_opts = relaxed_barrier_options(opts, policy, k);
+        let start: Option<&[f64]> = match k {
+            0 => x0,
+            1 => {
+                // Pull the warm start toward a fresh interior point; if
+                // phase I cannot produce one the problem is infeasible and
+                // retrying is pointless.
+                blended = match (x0, solver.strictly_feasible_start()) {
+                    (Some(x), Ok(interior)) => Some(
+                        x.iter()
+                            .zip(&interior)
+                            .map(|(&a, &b)| (1.0 - policy.start_blend) * a + policy.start_blend * b)
+                            .collect(),
+                    ),
+                    _ => None,
+                };
+                blended.as_deref()
+            }
+            _ => None,
+        };
+        report.attempts = k + 1;
+        report.fallback_level = k;
+        match solver.solve(start, &level_opts) {
+            Ok(sol) => {
+                report.converged = true;
+                report.final_residual = sol.stats.gap;
+                report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                return (Ok(sol), report);
+            }
+            Err(err) => {
+                report.final_residual = residual_of(&err);
+                let fatal = !retryable(&err);
+                last_err = err;
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    report.error = Some(last_err.to_string());
+    report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+    (Err(last_err), report)
+}
+
+/// Solves an LP under a retry policy.
+///
+/// Interior-point attempts escalate through [`relaxed_ipm_options`]; if all
+/// of them fail and the policy allows it, the dense simplex runs as a final
+/// exact rung (counted one level past the last interior-point attempt).
+///
+/// # Errors
+///
+/// Returns the last attempt's error when every rung fails, or immediately
+/// on non-retryable failures. The [`SolveReport`] describes the outcome
+/// either way.
+pub fn solve_lp_with_retry(
+    lp: &LpProblem,
+    opts: &IpmOptions,
+    policy: &RetryPolicy,
+) -> (Result<LpSolution>, SolveReport) {
+    let clock = Instant::now();
+    let mut report = SolveReport::start();
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = Error::Numerical("no attempts made".into());
+    for k in 0..attempts {
+        report.attempts = k + 1;
+        report.fallback_level = k;
+        match lp.solve_with(&relaxed_ipm_options(opts, policy, k)) {
+            Ok(sol) => {
+                report.converged = true;
+                report.final_residual = lp.max_violation(&sol.x);
+                report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                return (Ok(sol), report);
+            }
+            Err(err) => {
+                report.final_residual = residual_of(&err);
+                let fatal = !retryable(&err);
+                last_err = err;
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    if policy.simplex_fallback && retryable(&last_err) {
+        report.attempts += 1;
+        report.fallback_level = attempts;
+        match lp.solve_simplex() {
+            Ok(sol) => {
+                report.converged = true;
+                report.final_residual = lp.max_violation(&sol.x);
+                report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                return (Ok(sol), report);
+            }
+            Err(err) => last_err = err,
+        }
+    }
+    report.error = Some(last_err.to_string());
+    report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+    (Err(last_err), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convex::{ScalarTerm, SeparableObjective};
+    use crate::lp::ConstraintSense;
+    use crate::sparse::Triplets;
+
+    fn toy_lp() -> LpProblem {
+        // min x + 2y s.t. x + y ≥ 3, y ≤ 2 → optimum 3 at (3, 0).
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_row(ConstraintSense::Ge, 3.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(ConstraintSense::Le, 2.0, &[(y, 1.0)]);
+        lp
+    }
+
+    fn toy_barrier() -> BarrierSolver {
+        // min x² + y² s.t. x + y ≥ 2 → (1, 1).
+        let mut f = SeparableObjective::new(2);
+        f.add_term(0, ScalarTerm::Quadratic { q: 2.0 });
+        f.add_term(1, ScalarTerm::Quadratic { q: 2.0 });
+        let mut a = Triplets::new(1, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 1, 1.0);
+        BarrierSolver::new(f, a.to_csc(), vec![2.0]).unwrap()
+    }
+
+    #[test]
+    fn healthy_lp_solves_on_first_attempt() {
+        let (result, report) =
+            solve_lp_with_retry(&toy_lp(), &IpmOptions::default(), &RetryPolicy::default());
+        let sol = result.unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.fallback_level, 0);
+        assert!(report.converged);
+        assert!(!report.degraded());
+        assert!(report.final_residual < 1e-6);
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn crippled_lp_recovers_through_escalation() {
+        let opts = IpmOptions {
+            max_iters: 1,
+            ..IpmOptions::default()
+        };
+        let (result, report) = solve_lp_with_retry(&toy_lp(), &opts, &RetryPolicy::default());
+        let sol = result.unwrap();
+        // Degraded rungs trade accuracy for survival: the relaxed tolerance
+        // caps at 1e-3 relative, so only percent-level accuracy is promised.
+        assert!((sol.objective - 3.0).abs() < 1e-2, "obj {}", sol.objective);
+        assert!(report.converged);
+        assert!(report.fallback_level > 0, "report {report:?}");
+        assert!(report.degraded());
+    }
+
+    #[test]
+    fn crippled_lp_without_retries_fails_honestly() {
+        let opts = IpmOptions {
+            max_iters: 1,
+            ..IpmOptions::default()
+        };
+        let (result, report) = solve_lp_with_retry(&toy_lp(), &opts, &RetryPolicy::none());
+        assert!(matches!(result, Err(Error::MaxIterations { .. })));
+        assert_eq!(report.attempts, 1);
+        assert!(!report.converged);
+        assert!(report.error.is_some());
+    }
+
+    #[test]
+    fn crippled_barrier_recovers_through_escalation() {
+        let opts = BarrierOptions {
+            max_outer: 1,
+            ..BarrierOptions::default()
+        };
+        let (result, report) =
+            solve_barrier_with_retry(&toy_barrier(), None, &opts, &RetryPolicy::default());
+        let sol = result.unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-2, "x {:?}", sol.x);
+        assert!(report.converged);
+        assert!(report.fallback_level > 0, "report {report:?}");
+    }
+
+    #[test]
+    fn warm_started_barrier_retry_accepts_blended_start() {
+        let opts = BarrierOptions {
+            max_outer: 1,
+            ..BarrierOptions::default()
+        };
+        let start = [1.5, 1.5];
+        let (result, report) =
+            solve_barrier_with_retry(&toy_barrier(), Some(&start), &opts, &RetryPolicy::default());
+        assert!(result.is_ok());
+        assert!(report.fallback_level > 0);
+    }
+
+    #[test]
+    fn infeasible_program_is_not_retried() {
+        // x ≥ 0 with row −x ≥ 1 → infeasible.
+        let f = SeparableObjective::new(1);
+        let mut a = Triplets::new(1, 1);
+        a.push(0, 0, -1.0);
+        let solver = BarrierSolver::new(f, a.to_csc(), vec![1.0]).unwrap();
+        let (result, report) = solve_barrier_with_retry(
+            &solver,
+            None,
+            &BarrierOptions::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(matches!(result, Err(Error::Infeasible)));
+        assert_eq!(report.attempts, 1, "structural failure must not retry");
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn relaxation_schedules_escalate_monotonically() {
+        let policy = RetryPolicy::default();
+        let base_b = BarrierOptions::default();
+        let base_i = IpmOptions::default();
+        for k in 1..4 {
+            let b = relaxed_barrier_options(&base_b, &policy, k);
+            let prev = relaxed_barrier_options(&base_b, &policy, k - 1);
+            assert!(b.tol >= prev.tol);
+            assert!(b.max_outer >= prev.max_outer);
+            assert!(b.mu <= prev.mu);
+            let i = relaxed_ipm_options(&base_i, &policy, k);
+            let prev_i = relaxed_ipm_options(&base_i, &policy, k - 1);
+            assert!(i.tol >= prev_i.tol);
+            assert!(i.max_iters >= prev_i.max_iters);
+            assert!(i.reg >= prev_i.reg);
+            assert!(i.step_scale <= prev_i.step_scale);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let report = SolveReport {
+            attempts: 3,
+            fallback_level: 2,
+            final_residual: 1e-5,
+            wall_time_ms: 12.5,
+            converged: true,
+            error: None,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SolveReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attempts, 3);
+        assert_eq!(back.fallback_level, 2);
+        assert!(back.converged);
+    }
+}

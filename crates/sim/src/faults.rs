@@ -1,0 +1,200 @@
+//! Deterministic fault injection for resilience experiments.
+//!
+//! A [`FaultPlan`] is part of the [`crate::scenario::Scenario`] description:
+//! after the repetition's instance is generated (seeded, as usual), the
+//! plan corrupts it in place. The online pipeline then has to survive the
+//! corruption — sanitization and the degradation ladder (see
+//! `edgealloc::health`) decide each slot, and the damage shows up in the
+//! outcome's health summaries instead of as a crash.
+//!
+//! The fault classes mirror what real telemetry feeds produce:
+//!
+//! * [`FaultKind::PriceNan`] / [`FaultKind::PriceSpike`] — a market feed
+//!   emitting garbage or a flash spike for one cloud in one slot;
+//! * [`FaultKind::ZeroCapacity`] — a cloud going dark for the whole
+//!   horizon;
+//! * [`FaultKind::DemandSurge`] — workloads multiplied beyond what the
+//!   system was provisioned for (possibly infeasible);
+//! * [`FaultKind::DegenerateDelays`] — a delay matrix collapsing to
+//!   non-finite entries, as when a topology probe times out.
+
+use edgealloc::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Operation price of `cloud` at `slot` becomes NaN.
+    PriceNan {
+        /// Slot index (out-of-range slots are ignored).
+        slot: usize,
+        /// Cloud index (out-of-range clouds are ignored).
+        cloud: usize,
+    },
+    /// Operation price of `cloud` at `slot` becomes `value` (may be
+    /// negative or infinite — that is the point).
+    PriceSpike {
+        /// Slot index.
+        slot: usize,
+        /// Cloud index.
+        cloud: usize,
+        /// The injected price.
+        value: f64,
+    },
+    /// Capacity of `cloud` becomes zero for the whole horizon.
+    ZeroCapacity {
+        /// Cloud index.
+        cloud: usize,
+    },
+    /// Every workload is multiplied by `factor` (a factor above
+    /// `1/utilization` makes the instance structurally infeasible).
+    DemandSurge {
+        /// Workload multiplier.
+        factor: f64,
+    },
+    /// Every off-diagonal inter-cloud delay becomes infinite.
+    DegenerateDelays,
+}
+
+impl FaultKind {
+    /// Applies this fault to the instance. Out-of-range indices are
+    /// ignored: a plan written for a large scenario may be reused on a
+    /// smaller one.
+    pub fn apply(&self, inst: &mut Instance) {
+        match *self {
+            FaultKind::PriceNan { slot, cloud } => {
+                if slot < inst.num_slots() && cloud < inst.num_clouds() {
+                    inst.inject_operation_price(slot, cloud, f64::NAN);
+                }
+            }
+            FaultKind::PriceSpike { slot, cloud, value } => {
+                if slot < inst.num_slots() && cloud < inst.num_clouds() {
+                    inst.inject_operation_price(slot, cloud, value);
+                }
+            }
+            FaultKind::ZeroCapacity { cloud } => {
+                if cloud < inst.num_clouds() {
+                    inst.system_mut().inject_capacity(cloud, 0.0);
+                }
+            }
+            FaultKind::DemandSurge { factor } => {
+                for j in 0..inst.num_users() {
+                    let surged = inst.workload(j) * factor;
+                    inst.inject_workload(j, surged);
+                }
+            }
+            FaultKind::DegenerateDelays => {
+                let n = inst.num_clouds();
+                for i in 0..n {
+                    for k in 0..n {
+                        if i != k {
+                            inst.system_mut().inject_delay(i, k, f64::INFINITY);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The set of faults injected into every repetition of a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Faults, applied in order.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies every fault, in order, to the instance.
+    pub fn apply(&self, inst: &mut Instance) {
+        for fault in &self.faults {
+            fault.apply(inst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> Instance {
+        Instance::fig1_example(2.1, true)
+    }
+
+    #[test]
+    fn price_nan_corrupts_exactly_one_entry() {
+        let mut inst = instance();
+        FaultKind::PriceNan { slot: 1, cloud: 0 }.apply(&mut inst);
+        assert!(inst.operation_prices_at(1)[0].is_nan());
+        assert!(inst.operation_prices_at(0)[0].is_finite());
+        assert!(inst.operation_prices_at(1)[1].is_finite());
+    }
+
+    #[test]
+    fn out_of_range_faults_are_ignored() {
+        let mut inst = instance();
+        let reference = instance();
+        FaultKind::PriceNan { slot: 99, cloud: 0 }.apply(&mut inst);
+        FaultKind::ZeroCapacity { cloud: 99 }.apply(&mut inst);
+        for t in 0..inst.num_slots() {
+            assert_eq!(inst.operation_prices_at(t), reference.operation_prices_at(t));
+        }
+        assert_eq!(
+            inst.system().capacities(),
+            reference.system().capacities()
+        );
+    }
+
+    #[test]
+    fn demand_surge_scales_workloads() {
+        let mut inst = instance();
+        let before = inst.workload(0);
+        FaultKind::DemandSurge { factor: 3.0 }.apply(&mut inst);
+        assert!((inst.workload(0) - 3.0 * before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_delays_spare_the_diagonal() {
+        let mut inst = instance();
+        FaultKind::DegenerateDelays.apply(&mut inst);
+        let n = inst.num_clouds();
+        for i in 0..n {
+            assert_eq!(inst.system().delay(i, i), 0.0);
+            for k in 0..n {
+                if i != k {
+                    assert!(inst.system().delay(i, k).is_infinite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            faults: vec![
+                FaultKind::PriceSpike {
+                    slot: 2,
+                    cloud: 1,
+                    value: 1e12,
+                },
+                FaultKind::ZeroCapacity { cloud: 0 },
+                FaultKind::DemandSurge { factor: 2.5 },
+            ],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert!(!back.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Mirrors the Python simulator of the paper's §V: builds instances from
 //! scenario descriptions ([`scenario`]), runs a set of algorithms against
-//! the offline optimum over repeated seeds ([`runner`], parallelized with
-//! crossbeam), aggregates empirical competitive ratios ([`metrics`]), and
-//! renders aligned text tables / JSON reports ([`report`]).
+//! the offline optimum over repeated seeds ([`runner`], one scoped thread
+//! per repetition, with panics captured per repetition), optionally
+//! corrupts the instances with a deterministic fault plan ([`faults`]),
+//! aggregates empirical competitive ratios ([`metrics`]), and renders
+//! aligned text tables / JSON reports ([`report`]).
 //!
 //! ```
 //! use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -26,10 +28,12 @@
 //! # }
 //! ```
 
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use runner::{run_scenario, AlgorithmOutcome, ScenarioOutcome};
+pub use faults::{FaultKind, FaultPlan};
+pub use runner::{run_scenario, AlgorithmOutcome, RepFailure, ScenarioOutcome};
 pub use scenario::{AlgorithmKind, MobilityKind, Scenario};

@@ -123,7 +123,9 @@ mod tests {
                 ratios: vec![1.1, 1.2],
                 totals: vec![11.0, 12.0],
                 breakdowns: vec![],
+                health: vec![],
             }],
+            failures: vec![],
         }
     }
 

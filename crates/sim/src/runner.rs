@@ -1,14 +1,21 @@
 //! Scenario execution: instance generation, algorithm runs, aggregation.
+//!
+//! Repetitions run in parallel and are *isolated*: a panic or error inside
+//! one repetition is captured as a [`RepFailure`] instead of tearing down
+//! the whole scenario. [`run_scenario`] errors only when every repetition
+//! failed — partial data with recorded failures beats no data.
 
 use crate::scenario::{MobilityKind, Scenario};
 use edgealloc::algorithms::solve_offline_with;
 use edgealloc::cost::{evaluate_trajectory, CostBreakdown};
+use edgealloc::health::{HealthSummary, RungCounts};
 use edgealloc::instance::{Instance, SyntheticConfig};
 use edgealloc::ratio::{competitive_ratio, mean_sd};
 use edgealloc::Result;
 use mobility::taxi::TaxiConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Results of one algorithm across all repetitions of a scenario.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -21,18 +28,71 @@ pub struct AlgorithmOutcome {
     pub totals: Vec<f64>,
     /// Cost breakdown per repetition.
     pub breakdowns: Vec<CostBreakdown>,
+    /// Degradation-ladder summary per repetition (same indexing as
+    /// `ratios`).
+    pub health: Vec<HealthSummary>,
 }
 
 impl AlgorithmOutcome {
-    /// Mean empirical competitive ratio.
-    pub fn mean_ratio(&self) -> f64 {
-        mean_sd(&self.ratios).0
+    /// Ratios of the repetitions whose normalizer existed: a repetition
+    /// whose offline solve failed has a NaN ratio, which must not poison
+    /// the scenario aggregate.
+    fn defined_ratios(&self) -> Vec<f64> {
+        self.ratios.iter().copied().filter(|r| r.is_finite()).collect()
     }
 
-    /// Standard deviation of the ratio across repetitions.
-    pub fn sd_ratio(&self) -> f64 {
-        mean_sd(&self.ratios).1
+    /// Mean empirical competitive ratio over repetitions with a defined
+    /// ratio (NaN when there are none).
+    pub fn mean_ratio(&self) -> f64 {
+        let defined = self.defined_ratios();
+        if defined.is_empty() {
+            f64::NAN
+        } else {
+            mean_sd(&defined).0
+        }
     }
+
+    /// Standard deviation of the ratio across repetitions with a defined
+    /// ratio (NaN when there are none).
+    pub fn sd_ratio(&self) -> f64 {
+        let defined = self.defined_ratios();
+        if defined.is_empty() {
+            f64::NAN
+        } else {
+            mean_sd(&defined).1
+        }
+    }
+
+    /// All repetitions' health merged into one summary.
+    pub fn merged_health(&self) -> HealthSummary {
+        let mut merged = HealthSummary::default();
+        for h in &self.health {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Fraction of slots (across all repetitions) that degraded.
+    pub fn degraded_slot_fraction(&self) -> f64 {
+        self.merged_health().degraded_fraction()
+    }
+
+    /// Per-rung slot counts across all repetitions.
+    pub fn fallback_totals(&self) -> RungCounts {
+        self.merged_health().rungs
+    }
+}
+
+/// One repetition that produced no data, and why.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RepFailure {
+    /// Repetition index.
+    pub repetition: usize,
+    /// Whether the repetition produced no data at all (`true`), or ran to
+    /// completion with a degraded normalizer / sanitized inputs (`false`).
+    pub fatal: bool,
+    /// What happened.
+    pub message: String,
 }
 
 /// Results of a whole scenario.
@@ -40,13 +100,29 @@ impl AlgorithmOutcome {
 pub struct ScenarioOutcome {
     /// Scenario name.
     pub name: String,
-    /// Offline-opt totals per repetition (the normalizer).
+    /// Offline-opt totals per surviving repetition (the normalizer); NaN
+    /// when the offline solve itself failed (see `failures`).
     pub offline_totals: Vec<f64>,
     /// Per-algorithm results, in roster order.
     pub algorithms: Vec<AlgorithmOutcome>,
+    /// Repetitions that failed or degraded, with messages. Empty on a
+    /// fully healthy run.
+    pub failures: Vec<RepFailure>,
 }
 
-/// Builds the instance of one repetition.
+impl ScenarioOutcome {
+    /// Whether every repetition completed on the clean primary path.
+    pub fn fully_healthy(&self) -> bool {
+        self.failures.is_empty()
+            && self
+                .algorithms
+                .iter()
+                .all(|a| a.merged_health().degraded_slots == 0)
+    }
+}
+
+/// Builds the instance of one repetition, with the scenario's faults (if
+/// any) injected.
 ///
 /// # Errors
 ///
@@ -74,56 +150,120 @@ pub fn build_instance(scenario: &Scenario, repetition: usize) -> Result<Instance
         delay_per_km: scenario.delay_per_km,
         utilization: scenario.utilization,
     };
-    Instance::synthetic_with(&net, mob, &cfg, &mut rng)
+    let mut inst = Instance::synthetic_with(&net, mob, &cfg, &mut rng)?;
+    scenario.faults.apply(&mut inst);
+    Ok(inst)
 }
 
-/// One repetition's raw outcome: offline total plus per-algorithm costs.
-type RepetitionOutcome = (f64, Vec<CostBreakdown>);
+/// One repetition's raw outcome.
+struct RepetitionReport {
+    /// Offline-opt total (NaN when the offline solve failed).
+    offline_total: f64,
+    /// Per-algorithm cost and health, in roster order.
+    per_algorithm: Vec<(CostBreakdown, HealthSummary)>,
+    /// Non-fatal degradations (offline failure, sanitized evaluation).
+    notes: Vec<String>,
+}
 
-/// One repetition: offline total plus each algorithm's cost.
-fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionOutcome> {
+/// One repetition: offline total plus each algorithm's cost and health.
+///
+/// The online algorithms run on the instance *as faulted* — surviving the
+/// corruption is their job. The offline normalizer and the cost evaluation
+/// use a sanitized copy, so reported costs stay finite and comparable even
+/// when prices were corrupted to NaN.
+fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionReport> {
     let inst = build_instance(scenario, repetition)?;
+    let mut notes = Vec::new();
+    let eval_inst = if scenario.faults.is_empty() {
+        None
+    } else {
+        let (clean, sanitize_notes) = inst.sanitized();
+        if !sanitize_notes.is_empty() {
+            notes.push(format!(
+                "evaluation on sanitized instance ({} repairs)",
+                sanitize_notes.len()
+            ));
+        }
+        Some(clean)
+    };
+    let eval = eval_inst.as_ref().unwrap_or(&inst);
     // 1e-6 relative accuracy is ample for ratio reporting and saves a few
     // interior-point iterations on every (large) horizon LP.
-    let offline = solve_offline_with(
-        &inst,
+    let offline_total = match solve_offline_with(
+        eval,
         &::optim::lp::IpmOptions {
             tol: 1e-6,
             ..::optim::lp::IpmOptions::default()
         },
-    )?;
-    let mut results = Vec::with_capacity(scenario.algorithms.len());
+    ) {
+        Ok(offline) => offline.cost.total(),
+        Err(err) => {
+            // A faulted instance may be structurally infeasible (e.g. a
+            // demand surge beyond total capacity): the normalizer is then
+            // undefined, but the online runs below still produce costs.
+            notes.push(format!("offline solve failed: {err}"));
+            f64::NAN
+        }
+    };
+    let mut per_algorithm = Vec::with_capacity(scenario.algorithms.len());
     for kind in &scenario.algorithms {
         let mut alg = kind.build();
         let traj = edgealloc::algorithms::run_online(&inst, alg.as_mut())?;
-        results.push(evaluate_trajectory(&inst, &traj.allocations));
+        per_algorithm.push((
+            evaluate_trajectory(eval, &traj.allocations),
+            traj.health_summary(),
+        ));
     }
-    Ok((offline.cost.total(), results))
+    Ok(RepetitionReport {
+        offline_total,
+        per_algorithm,
+        notes,
+    })
+}
+
+/// Renders a panic payload into a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Runs every repetition of a scenario, in parallel across repetitions, and
-/// aggregates the outcomes.
+/// aggregates the outcomes. Panics and errors inside a repetition are
+/// captured as [`RepFailure`]s; surviving repetitions still report.
 ///
 /// # Errors
 ///
-/// Propagates the first failure from any repetition.
+/// Returns an error only when *every* repetition failed.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
     let reps = scenario.repetitions.max(1);
-    let mut per_rep: Vec<Option<Result<RepetitionOutcome>>> = (0..reps).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    type RepSlot = std::result::Result<RepetitionReport, String>;
+    let mut per_rep: Vec<Option<RepSlot>> = (0..reps).map(|_| None).collect();
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (r, slot) in per_rep.iter_mut().enumerate() {
-            handles.push(scope.spawn(move |_| {
-                *slot = Some(run_repetition(scenario, r));
+            handles.push(scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_repetition(scenario, r)));
+                *slot = Some(match outcome {
+                    Ok(Ok(report)) => Ok(report),
+                    Ok(Err(err)) => Err(err.to_string()),
+                    Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
+                });
             }));
         }
         for h in handles {
-            h.join().expect("repetition thread panicked");
+            // The closure catches panics, so a join failure can only come
+            // from the runtime itself — nothing to salvage then.
+            h.join().expect("repetition thread infrastructure failed");
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut offline_totals = Vec::with_capacity(reps);
+    let mut failures = Vec::new();
     let mut algorithms: Vec<AlgorithmOutcome> = scenario
         .algorithms
         .iter()
@@ -132,27 +272,65 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
             ratios: Vec::with_capacity(reps),
             totals: Vec::with_capacity(reps),
             breakdowns: Vec::with_capacity(reps),
+            health: Vec::with_capacity(reps),
         })
         .collect();
-    for slot in per_rep {
-        let (offline_total, breakdowns) = slot.expect("repetition ran")?;
-        offline_totals.push(offline_total);
-        for (a, bd) in algorithms.iter_mut().zip(breakdowns) {
-            a.ratios.push(competitive_ratio(bd.total(), offline_total));
+    for (r, slot) in per_rep.into_iter().enumerate() {
+        let report = match slot.expect("repetition ran") {
+            Ok(report) => report,
+            Err(message) => {
+                failures.push(RepFailure {
+                    repetition: r,
+                    fatal: true,
+                    message,
+                });
+                continue;
+            }
+        };
+        for note in report.notes {
+            failures.push(RepFailure {
+                repetition: r,
+                fatal: false,
+                message: note,
+            });
+        }
+        offline_totals.push(report.offline_total);
+        for (a, (bd, health)) in algorithms.iter_mut().zip(report.per_algorithm) {
+            // No normalizer (offline solve failed on an infeasible faulted
+            // instance) → the ratio is undefined, not a panic.
+            let ratio = if report.offline_total.is_finite() && report.offline_total > 0.0 {
+                competitive_ratio(bd.total(), report.offline_total)
+            } else {
+                f64::NAN
+            };
+            a.ratios.push(ratio);
             a.totals.push(bd.total());
             a.breakdowns.push(bd);
+            a.health.push(health);
         }
+    }
+    if offline_totals.is_empty() {
+        let detail = failures
+            .iter()
+            .map(|f| format!("rep {}: {}", f.repetition, f.message))
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(edgealloc::Error::Invalid(format!(
+            "all {reps} repetitions failed: {detail}"
+        )));
     }
     Ok(ScenarioOutcome {
         name: scenario.name.clone(),
         offline_totals,
         algorithms,
+        failures,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
     use crate::scenario::AlgorithmKind;
 
     fn tiny_scenario() -> Scenario {
@@ -180,6 +358,18 @@ mod tests {
     }
 
     #[test]
+    fn healthy_scenario_reports_no_failures_or_degradation() {
+        let outcome = run_scenario(&tiny_scenario()).unwrap();
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(outcome.fully_healthy());
+        for alg in &outcome.algorithms {
+            assert_eq!(alg.health.len(), 2);
+            assert_eq!(alg.degraded_slot_fraction(), 0.0, "{}", alg.name);
+            assert_eq!(alg.fallback_totals().primary, 2 * 5, "{}", alg.name);
+        }
+    }
+
+    #[test]
     fn repetitions_are_deterministic_given_seed() {
         let a = run_scenario(&tiny_scenario()).unwrap();
         let b = run_scenario(&tiny_scenario()).unwrap();
@@ -195,5 +385,27 @@ mod tests {
         let inst = build_instance(&tiny_scenario(), 0).unwrap();
         assert_eq!(inst.num_users(), 5);
         assert_eq!(inst.num_slots(), 5);
+    }
+
+    #[test]
+    fn faulted_scenario_survives_and_flags_degradation() {
+        let scenario = Scenario {
+            faults: FaultPlan {
+                faults: vec![FaultKind::PriceNan { slot: 2, cloud: 1 }],
+            },
+            ..tiny_scenario()
+        };
+        let outcome = run_scenario(&scenario).unwrap();
+        assert!(!outcome.fully_healthy());
+        for alg in &outcome.algorithms {
+            for &t in &alg.totals {
+                assert!(t.is_finite(), "{}: non-finite cost {t}", alg.name);
+            }
+            assert!(
+                alg.merged_health().sanitized_slots > 0,
+                "{}: no slot flagged as sanitized",
+                alg.name
+            );
+        }
     }
 }

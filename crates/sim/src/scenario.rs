@@ -4,6 +4,7 @@ use edgealloc::algorithms::{
     OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt, PerfOpt, StatOpt, StaticPolicy,
     StaticVariant,
 };
+use crate::faults::FaultPlan;
 use edgealloc::cost::CostWeights;
 use mobility::prices::PriceConfig;
 use mobility::taxi::TaxiConfig;
@@ -132,6 +133,9 @@ pub struct Scenario {
     pub delay_per_km: f64,
     /// Target system utilization (§V-A: 80%).
     pub utilization: f64,
+    /// Faults injected into every repetition's instance (empty by
+    /// default); see [`crate::faults`].
+    pub faults: FaultPlan,
 }
 
 impl Default for Scenario {
@@ -159,6 +163,7 @@ impl Default for Scenario {
             },
             delay_per_km: 2.0,
             utilization: 0.8,
+            faults: FaultPlan::none(),
         }
     }
 }

@@ -1,0 +1,185 @@
+//! Fault-injection suite: every fault class must be survived — the full
+//! horizon decided, finite reported costs, and the damage flagged in the
+//! health records rather than surfacing as a panic or an error.
+
+use sim::faults::{FaultKind, FaultPlan};
+use sim::runner::run_scenario;
+use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
+
+const SLOTS: usize = 6;
+
+fn scenario(name: &str, faults: Vec<FaultKind>) -> Scenario {
+    Scenario {
+        name: name.into(),
+        mobility: MobilityKind::RandomWalk { num_users: 5 },
+        num_slots: SLOTS,
+        algorithms: vec![
+            AlgorithmKind::Approx { eps: 0.5 },
+            AlgorithmKind::Greedy,
+            AlgorithmKind::StatOpt,
+            AlgorithmKind::StaticProportional,
+        ],
+        repetitions: 2,
+        seed: 23,
+        faults: FaultPlan { faults },
+        ..Scenario::default()
+    }
+}
+
+/// The scenario must survive: full horizons, finite totals, and (when
+/// `expect_flagged`) at least one slot marked degraded for at least one
+/// algorithm.
+fn assert_survives(scenario: &Scenario, expect_flagged: bool) {
+    let outcome = run_scenario(scenario).unwrap_or_else(|e| {
+        panic!("{}: scenario did not survive: {e}", scenario.name);
+    });
+    assert!(
+        outcome.failures.iter().all(|f| !f.fatal),
+        "{}: fatal repetition failures: {:?}",
+        scenario.name,
+        outcome.failures
+    );
+    let mut any_degraded = false;
+    for alg in &outcome.algorithms {
+        assert_eq!(
+            alg.totals.len(),
+            scenario.repetitions,
+            "{}: {} lost repetitions",
+            scenario.name,
+            alg.name
+        );
+        for &t in &alg.totals {
+            assert!(
+                t.is_finite() && t >= 0.0,
+                "{}: {} produced cost {t}",
+                scenario.name,
+                alg.name
+            );
+        }
+        let merged = alg.merged_health();
+        assert_eq!(
+            merged.slots,
+            scenario.repetitions * SLOTS,
+            "{}: {} did not decide every slot",
+            scenario.name,
+            alg.name
+        );
+        any_degraded |= merged.degraded_slots > 0;
+    }
+    if expect_flagged {
+        assert!(
+            any_degraded,
+            "{}: faults injected but no slot flagged degraded",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn survives_nan_price() {
+    assert_survives(
+        &scenario("nan-price", vec![FaultKind::PriceNan { slot: 2, cloud: 1 }]),
+        true,
+    );
+}
+
+#[test]
+fn survives_negative_price_spike() {
+    assert_survives(
+        &scenario(
+            "negative-spike",
+            vec![FaultKind::PriceSpike {
+                slot: 1,
+                cloud: 0,
+                value: -50.0,
+            }],
+        ),
+        true,
+    );
+}
+
+#[test]
+fn survives_infinite_price_spike() {
+    assert_survives(
+        &scenario(
+            "infinite-spike",
+            vec![FaultKind::PriceSpike {
+                slot: 3,
+                cloud: 2,
+                value: f64::INFINITY,
+            }],
+        ),
+        true,
+    );
+}
+
+#[test]
+fn survives_zero_capacity_cloud() {
+    // A cloud going dark is a legitimate state (not sanitized away): the
+    // remaining clouds absorb its share. The run must stay finite; whether
+    // any slot degrades depends on how tight the remaining capacity is.
+    assert_survives(
+        &scenario("dark-cloud", vec![FaultKind::ZeroCapacity { cloud: 0 }]),
+        false,
+    );
+}
+
+#[test]
+fn survives_demand_surge_beyond_capacity() {
+    // Utilization is 80%, so a 10× surge is far beyond total capacity: the
+    // offline normalizer is infeasible (NaN, noted as a non-fatal failure)
+    // but every online algorithm still yields a full, finite trajectory.
+    let s = scenario("demand-surge", vec![FaultKind::DemandSurge { factor: 10.0 }]);
+    let outcome = run_scenario(&s).unwrap();
+    assert!(outcome.failures.iter().all(|f| !f.fatal));
+    assert!(
+        outcome
+            .failures
+            .iter()
+            .any(|f| f.message.contains("offline solve failed")),
+        "expected the infeasible normalizer to be noted: {:?}",
+        outcome.failures
+    );
+    for alg in &outcome.algorithms {
+        for &t in &alg.totals {
+            assert!(t.is_finite(), "{}: cost {t}", alg.name);
+        }
+    }
+}
+
+#[test]
+fn survives_degenerate_delay_matrix() {
+    assert_survives(
+        &scenario("degenerate-delays", vec![FaultKind::DegenerateDelays]),
+        true,
+    );
+}
+
+#[test]
+fn survives_compound_faults() {
+    assert_survives(
+        &scenario(
+            "compound",
+            vec![
+                FaultKind::PriceNan { slot: 1, cloud: 0 },
+                FaultKind::PriceSpike {
+                    slot: 4,
+                    cloud: 1,
+                    value: f64::NEG_INFINITY,
+                },
+                FaultKind::ZeroCapacity { cloud: 2 },
+            ],
+        ),
+        true,
+    );
+}
+
+#[test]
+fn faulted_outcome_serializes_with_health() {
+    let s = scenario("serialized", vec![FaultKind::PriceNan { slot: 2, cloud: 1 }]);
+    let outcome = run_scenario(&s).unwrap();
+    let json = sim::report::outcome_json(&outcome);
+    assert!(json.contains("\"health\""));
+    assert!(json.contains("\"failures\""));
+    assert!(json.contains("sanitized_slots"));
+}

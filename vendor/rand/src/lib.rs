@@ -1,0 +1,473 @@
+//! Vendored stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses, for fully offline builds (the real crate cannot be fetched in the
+//! build environment; see DESIGN.md "Vendored dependency stand-ins").
+//!
+//! Provided surface: [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`]. The implementation
+//! is **stream-compatible** with `rand` 0.8.5: `StdRng` is ChaCha12 with
+//! the same PCG32-based `seed_from_u64` expansion, and the sampling
+//! algorithms (widening-multiply integer ranges, `[1,2)`-mantissa float
+//! ranges, most-significant-bit booleans) replicate the real crate's, so
+//! seed-calibrated tests and experiments reproduce the values they were
+//! calibrated against.
+
+/// Low-level source of random words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits (two consecutive 32-bit words, low first —
+    /// the same composition the real crate's block-based `StdRng` uses).
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from their "standard" distribution
+/// (`rng.gen::<T>()`): `[0, 1)` for floats, full range for integers.
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits, multiply-based — same as the real crate.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Most-significant bit of a 32-bit draw, like the real crate.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// Ranges a value can be drawn from uniformly (`rng.gen_range(range)`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let full = a as u128 * b as u128;
+    ((full >> 64) as u64, full as u64)
+}
+
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let full = a as u64 * b as u64;
+    ((full >> 32) as u32, full as u32)
+}
+
+/// `sample_single_inclusive` over 64-bit draws, as in the real crate:
+/// widening multiply with the conservative power-of-two zone.
+fn sample_inclusive_u64<R: RngCore + ?Sized>(rng: &mut R, low: u64, high: u64) -> u64 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        return rng.next_u64(); // full span
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// `sample_single_inclusive` over 32-bit draws (u32 uses the conservative
+/// zone; u16/u8 widen to u32 with the exact modulus zone, as upstream).
+fn sample_inclusive_u32<R: RngCore + ?Sized>(
+    rng: &mut R,
+    low: u32,
+    high: u32,
+    modulus_zone: bool,
+) -> u32 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let zone = if modulus_zone {
+        u32::MAX - (u32::MAX - range + 1) % range
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = wmul32(v, range);
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+macro_rules! int_ranges_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                sample_inclusive_u64(rng, self.start as u64, (self.end - 1) as u64) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                sample_inclusive_u64(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+int_ranges_64!(usize, u64);
+
+macro_rules! int_ranges_32 {
+    ($($t:ty => $modulus:expr),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                sample_inclusive_u32(rng, self.start as u32, (self.end - 1) as u32, $modulus)
+                    as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                sample_inclusive_u32(rng, lo as u32, hi as u32, $modulus) as $t
+            }
+        }
+    )*};
+}
+int_ranges_32!(u32 => false, u16 => true, u8 => true);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let scale = self.end - self.start;
+        loop {
+            // Value in [1, 2) from 52 mantissa bits, like the real crate.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        let scale = hi - lo;
+        if scale == 0.0 {
+            return lo;
+        }
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + lo;
+            if res <= hi {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (real-crate `Bernoulli` scaling).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Consume a draw anyway, as the real crate's Bernoulli does
+            // via its always-true integer threshold.
+            let _ = self.next_u64();
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (PCG32 expansion, matching
+    /// the real crate's default `seed_from_u64`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_ROUNDS: usize = 12; // StdRng in rand 0.8 is ChaCha12
+    const BLOCK_WORDS: usize = 16;
+
+    /// The workspace's standard deterministic generator: ChaCha12,
+    /// stream-compatible with `rand` 0.8's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BLOCK_WORDS],
+        index: usize,
+    }
+
+    fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn chacha_block(key: &[u32; 8], counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut s: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0, // stream id low
+            0, // stream id high
+        ];
+        let initial = s;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (w, i) in s.iter_mut().zip(initial) {
+            *w = w.wrapping_add(i);
+        }
+        s
+    }
+
+    impl StdRng {
+        /// Builds the generator from a 32-byte key, like `from_seed`.
+        pub fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BLOCK_WORDS],
+                index: BLOCK_WORDS,
+            }
+        }
+
+        fn next_word(&mut self) -> u32 {
+            if self.index >= BLOCK_WORDS {
+                self.buf = chacha_block(&self.key, self.counter);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // PCG32 expansion of the 64-bit seed into the 32-byte key,
+            // matching the real crate's default implementation.
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            StdRng::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_word()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Two consecutive words, low half first — the word stream is
+            // continuous across block boundaries, exactly like the real
+            // crate's block-buffered reader.
+            let lo = self.next_word() as u64;
+            let hi = self.next_word() as u64;
+            lo | (hi << 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let mut differs = false;
+        for _ in 0..100 {
+            let (x, y, z) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+            assert_eq!(x, y);
+            differs |= x != z;
+        }
+        assert!(differs, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+            let f = rng.gen_range(2.0..=3.0f64);
+            assert!((2.0..=3.0).contains(&f));
+            let k = rng.gen_range(1..=4u32);
+            assert!((1..=4).contains(&k));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn chacha_stream_is_word_continuous() {
+        // next_u64 must equal two next_u32 calls (low word first).
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let x = a.gen::<u64>();
+            let lo = b.gen::<u32>() as u64;
+            let hi = b.gen::<u32>() as u64;
+            assert_eq!(x, lo | (hi << 32));
+        }
+    }
+}

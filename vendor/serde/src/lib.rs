@@ -1,0 +1,311 @@
+//! Vendored stand-in for the subset of `serde` this workspace uses, for
+//! fully offline builds (see DESIGN.md "Vendored dependency stand-ins").
+//!
+//! Instead of serde's visitor-based zero-copy data model, values round-trip
+//! through an owned tree, [`Content`] — ample for the experiment configs
+//! and result reports this repository serializes. The derive macros
+//! (re-exported from `serde_derive`) implement [`Serialize`] /
+//! [`Deserialize`] for plain structs with named fields and for enums with
+//! unit or struct variants, in serde's externally-tagged JSON layout.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing value tree — the data model every type
+/// serializes into and deserializes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The float value, accepting any numeric representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            // JSON has no NaN/∞ literal; non-finite floats serialize as
+            // null, so null reads back as NaN rather than failing.
+            Content::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer value, accepting integral floats.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The signed-integer value, accepting integral floats.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error with a human-readable path/description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" helper used by derived impls.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required field in a map's entries (derived impls call this).
+///
+/// # Errors
+///
+/// Returns [`DeError`] naming the missing field.
+pub fn field<'a>(map: &'a [(String, Content)], name: &str) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+/// Types convertible into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatches.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                c.as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| DeError::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_float!(f64, f32);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(isize, i64, i32, i16, i8);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            _ => Err(DeError::expected("2-element sequence", "tuple")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::from_content(&3.5f64.to_content()).unwrap(), 3.5);
+        assert_eq!(usize::from_content(&7usize.to_content()).unwrap(), 7);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        let v = vec![1.0f64, 2.0];
+        assert_eq!(Vec::<f64>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn numeric_cross_acceptance() {
+        // u64 fields accept integral floats, f64 fields accept integers.
+        assert_eq!(u64::from_content(&Content::F64(4.0)).unwrap(), 4);
+        assert_eq!(f64::from_content(&Content::U64(4)).unwrap(), 4.0);
+        assert!(u64::from_content(&Content::F64(4.5)).is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_read_back_from_null() {
+        assert!(f64::from_content(&Content::Null).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,313 @@
+//! Vendored stand-in for `serde_derive`, for fully offline builds.
+//!
+//! Parses the item token stream directly (no `syn`/`quote` available) and
+//! emits `serde::Serialize` / `serde::Deserialize` impls over the owned
+//! `serde::Content` data model. Supported shapes — exactly what this
+//! workspace derives on:
+//!
+//! - structs with named fields,
+//! - enums whose variants are unit or struct-like (externally tagged:
+//!   `"Variant"` for unit, `{"Variant": {fields…}}` for struct variants).
+//!
+//! Tuple structs, tuple variants, and generic types produce a
+//! `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A variant's fields: `None` for a unit variant, `Some(names)` for a
+/// struct-like variant.
+type Variant = (String, Option<Vec<String>>);
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive stand-in generated invalid Rust")
+}
+
+type PeekIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut PeekIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde stand-in derive does not support generic type `{name}`"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde stand-in derive does not support unit or tuple struct `{name}`"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in derive does not support tuple struct `{name}`"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_fields(body.stream(), &name)?),
+        "enum" => Shape::Enum(parse_variants(body.stream(), &name)?),
+        other => return Err(format!("cannot derive for `{other}` item `{name}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Parses `name: Type, ...` out of a brace-group body, skipping the type
+/// tokens (angle-bracket depth tracked so `Vec<(A, B)>` commas don't split).
+fn parse_fields(stream: TokenStream, ctx: &str) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name in `{ctx}`, found {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{ctx}.{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream, ctx: &str) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name in `{ctx}`, found {other}")),
+        };
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream(), &format!("{ctx}::{variant}"))?;
+                iter.next();
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == ',' {
+                        iter.next();
+                    }
+                }
+                variants.push((variant, Some(fields)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in derive does not support tuple variant `{ctx}::{variant}`"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                iter.next();
+                variants.push((variant, None));
+            }
+            None => variants.push((variant, None)),
+            Some(other) => {
+                return Err(format!(
+                    "unsupported token after variant `{ctx}::{variant}`: {other}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// `("field".to_string(), serde::Serialize::to_content(<expr>))` entries.
+fn map_entries(fields: &[String], expr_of: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), serde::Serialize::to_content({})),",
+                expr_of(f)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries = map_entries(fields, |f| format!("&self.{f}"));
+            format!("serde::Content::Map(::std::vec![{entries}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    None => format!(
+                        "{name}::{variant} => \
+                         serde::Content::Str(::std::string::String::from({variant:?})),"
+                    ),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let entries = map_entries(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{variant} {{ {pat} }} => serde::Content::Map(::std::vec![(\
+                               ::std::string::String::from({variant:?}),\
+                               serde::Content::Map(::std::vec![{entries}]),\
+                             )]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\
+           fn to_content(&self) -> serde::Content {{ {body} }}\
+         }}"
+    )
+}
+
+/// `field: serde::Deserialize::from_content(serde::field(m, "field")?)?,`
+fn field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_content(serde::field(m, {f:?})?)?,"))
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits = field_inits(fields);
+            format!(
+                "let m = c.as_map().ok_or_else(|| serde::DeError::expected(\"map\", {name:?}))?;\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(variant, _)| {
+                    format!("{variant:?} => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(variant, fields)| fields.as_ref().map(|f| (variant, f)))
+                .map(|(variant, fields)| {
+                    let ctx = format!("{name}::{variant}");
+                    let inits = field_inits(fields);
+                    format!(
+                        "{variant:?} => {{\
+                           let m = inner.as_map()\
+                               .ok_or_else(|| serde::DeError::expected(\"map\", {ctx:?}))?;\
+                           ::std::result::Result::Ok({name}::{variant} {{ {inits} }})\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "match c {{\
+                   serde::Content::Str(tag) => match tag.as_str() {{\
+                     {unit_arms}\
+                     _ => ::std::result::Result::Err(serde::DeError(::std::format!(\
+                       \"unknown unit variant `{{tag}}` of {name}\"))),\
+                   }},\
+                   serde::Content::Map(entries) if entries.len() == 1 => {{\
+                     let (tag, inner) = &entries[0];\
+                     match tag.as_str() {{\
+                       {struct_arms}\
+                       _ => ::std::result::Result::Err(serde::DeError(::std::format!(\
+                         \"unknown variant `{{tag}}` of {name}\"))),\
+                     }}\
+                   }},\
+                   _ => ::std::result::Result::Err(serde::DeError::expected(\
+                     \"variant string or single-entry map\", {name:?})),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\
+           fn from_content(c: &serde::Content) \
+               -> ::std::result::Result<Self, serde::DeError> {{ {body} }}\
+         }}"
+    )
+}
