@@ -1,0 +1,83 @@
+//! Criterion benchmark isolating one online ℙ₂ slot solve: the cold path
+//! (rebuild the `BarrierSolver` from scratch, solve from the proportional
+//! start) versus the warm path (refresh a persistent [`P2Workspace`] in
+//! place, solve from the previous slot's solution with an adaptively seeded
+//! barrier parameter) — the two regimes `OnlineRegularized` alternates
+//! between across a horizon.
+
+use criterion::{criterion_group, criterion_main, black_box, Criterion};
+use edgealloc::prelude::*;
+use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
+use edgealloc::SlotInput;
+use optim::convex::BarrierOptions;
+use rand::SeedableRng;
+
+/// A taxi instance at the profiling shape (scaled down for bench runtime),
+/// plus the slot-0 solution used as the previous allocation for slot 1.
+fn fixture() -> (Instance, Allocation) {
+    let net = mobility::rome_metro();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = mobility::taxi::TaxiConfig {
+        num_users: 15,
+        num_slots: 2,
+        ..Default::default()
+    };
+    let mob = mobility::taxi::generate(&net, &cfg, &mut rng);
+    let inst = Instance::synthetic(&net, mob, &mut rng);
+    let input0 = SlotInput::from_instance(&inst, 0);
+    let zeros = Allocation::zeros(inst.num_clouds(), inst.num_users());
+    let sol0 = p2::solve(
+        &input0,
+        &zeros,
+        Epsilons::default(),
+        None,
+        &BarrierOptions::default(),
+    )
+    .expect("slot 0 solve");
+    (inst, sol0.allocation)
+}
+
+fn bench_slot_solve(c: &mut Criterion) {
+    let (inst, prev) = fixture();
+    let input = SlotInput::from_instance(&inst, 1);
+    let eps = Epsilons::default();
+    let opts = BarrierOptions::default();
+    let prev_flat = prev.as_flat().to_vec();
+
+    let mut group = c.benchmark_group("slot_solve");
+    group.sample_size(10);
+
+    // Cold: rebuild matrix, groups, and Schur coupling, then solve from the
+    // proportional interior point (what every slot paid before PR 2).
+    group.bench_function("cold_rebuild", |b| {
+        b.iter(|| {
+            let sol = p2::solve(black_box(&input), &prev, eps, None, &opts).expect("cold solve");
+            black_box(sol.objective)
+        });
+    });
+
+    // Warm: refresh values in the persistent workspace and solve from the
+    // previous slot's solution with the adaptive barrier-parameter seed.
+    let mut ws =
+        P2Workspace::new(&input, &prev, eps, CapacityMode::Paper10b).expect("workspace build");
+    let warm_opts = BarrierOptions {
+        t0: 1e5,
+        ..BarrierOptions::default()
+    };
+    group.bench_function("warm_refresh", |b| {
+        b.iter(|| {
+            ws.refresh(black_box(&input), &prev).expect("refresh");
+            // A terminal solution can sit numerically on the boundary;
+            // fall back to the proportional start like the ladder does.
+            let sol = match ws.solve(Some(&prev_flat), &warm_opts) {
+                Ok(sol) => sol,
+                Err(_) => ws.solve(None, &opts).expect("warm solve"),
+            };
+            black_box(sol.objective)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_solve);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! Expected shape: atomistic ≫ holistic; online-approx ≈ 1.1 and up to
 //! ~60% below online-greedy.
 
-use bench::{maybe_write, Flags};
+use bench::{maybe_write, parallel_map, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -18,6 +18,7 @@ fn main() {
     let slots = flags.usize("slots", 24);
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
+    let threads = flags.usize("threads", bench::default_threads());
 
     let roster = vec![
         AlgorithmKind::PerfOpt,
@@ -31,8 +32,9 @@ fn main() {
         .map(|k| Series::new(k.label()))
         .collect();
 
-    // Six hourly test cases: 3pm–8pm.
-    for (case, hour) in (15..21).enumerate() {
+    // Six hourly test cases: 3pm–8pm, fanned across worker threads.
+    let cases: Vec<(usize, usize)> = (15..21).enumerate().collect();
+    let outcomes = parallel_map(&cases, threads, |&(case, hour)| {
         let scenario = Scenario {
             name: format!("fig2-hour-{hour}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -43,7 +45,9 @@ fn main() {
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);
-        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        sim::run_scenario(&scenario).expect("scenario")
+    });
+    for (&(_, hour), outcome) in cases.iter().zip(&outcomes) {
         for (s, alg) in series.iter_mut().zip(&outcome.algorithms) {
             s.push_from(hour as f64, &alg.ratios);
         }

@@ -4,7 +4,7 @@
 //! Expected shape: online-approx stays near-optimal (≈1.1, slightly better
 //! under uniform workloads) with up to ~70% improvement over greedy.
 
-use bench::{maybe_write, Flags};
+use bench::{maybe_write, parallel_map, Flags};
 use mobility::workload::WorkloadDist;
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
@@ -16,6 +16,7 @@ fn main() {
     let slots = flags.usize("slots", 24);
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
+    let threads = flags.usize("threads", bench::default_threads());
 
     let roster = vec![
         AlgorithmKind::PerfOpt,
@@ -31,7 +32,8 @@ fn main() {
         ("normal", WorkloadDist::default_normal()),
     ] {
         let mut series: Vec<Series> = roster.iter().map(|k| Series::new(k.label())).collect();
-        for (case, hour) in (15..21).enumerate() {
+        let cases: Vec<(usize, usize)> = (15..21).enumerate().collect();
+        let outcomes = parallel_map(&cases, threads, |&(case, hour)| {
             let scenario = Scenario {
                 name: format!("fig3-{dist_name}-hour-{hour}"),
                 mobility: MobilityKind::Taxi { num_users: users },
@@ -43,7 +45,9 @@ fn main() {
                 ..Scenario::default()
             };
             eprintln!("running {} ...", scenario.name);
-            let outcome = sim::run_scenario(&scenario).expect("scenario");
+            sim::run_scenario(&scenario).expect("scenario")
+        });
+        for (&(_, hour), outcome) in cases.iter().zip(&outcomes) {
             for (s, alg) in series.iter_mut().zip(&outcome.algorithms) {
                 s.push_from(hour as f64, &alg.ratios);
             }

@@ -7,7 +7,7 @@
 //! optimization is optimal) and stabilizes at a reasonably good ratio for
 //! large μ.
 
-use bench::{maybe_write, Flags};
+use bench::{maybe_write, parallel_map, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -18,11 +18,12 @@ fn main() {
     let slots = flags.usize("slots", 18);
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
+    let threads = flags.usize("threads", bench::default_threads());
     let grid: Vec<f64> = (-3..=3).map(|e| 10f64.powi(e)).collect();
 
     // ---- ε sweep ----
     let mut eps_series = Series::new("online-approx");
-    for &eps in &grid {
+    let eps_outcomes = parallel_map(&grid, threads, |&eps| {
         let scenario = Scenario {
             name: format!("fig4-eps-{eps}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -33,7 +34,9 @@ fn main() {
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);
-        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        sim::run_scenario(&scenario).expect("scenario")
+    });
+    for (&eps, outcome) in grid.iter().zip(&eps_outcomes) {
         eps_series.push_from(eps, &outcome.algorithms[0].ratios);
     }
     println!("Figure 4 (left) — competitive ratio vs ε (= ε₁ = ε₂)");
@@ -41,7 +44,7 @@ fn main() {
 
     // ---- μ sweep ----
     let mut mu_series = Series::new("online-approx");
-    for &mu in &grid {
+    let mu_outcomes = parallel_map(&grid, threads, |&mu| {
         let scenario = Scenario {
             name: format!("fig4-mu-{mu}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -53,7 +56,9 @@ fn main() {
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);
-        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        sim::run_scenario(&scenario).expect("scenario")
+    });
+    for (&mu, outcome) in grid.iter().zip(&mu_outcomes) {
         mu_series.push_from(mu, &outcome.algorithms[0].ratios);
     }
     println!("Figure 4 (right) — competitive ratio vs μ (dynamic/static weight)");

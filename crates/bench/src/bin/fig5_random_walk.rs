@@ -7,7 +7,7 @@
 //! The paper sweeps 40→1000 users; the default grid here stops at 200 so
 //! the offline LP stays laptop-sized (raise with `--max-users 1000`).
 
-use bench::{maybe_write, Flags};
+use bench::{maybe_write, parallel_map, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -17,6 +17,7 @@ fn main() {
     let slots = flags.usize("slots", 12);
     let reps = flags.usize("reps", 2);
     let seed = flags.u64("seed", 2017);
+    let threads = flags.usize("threads", bench::default_threads());
     let max_users = flags.usize("max-users", 200);
     let grid: Vec<usize> = [40usize, 70, 100, 140, 200, 400, 700, 1000]
         .into_iter()
@@ -25,7 +26,7 @@ fn main() {
 
     let roster = vec![AlgorithmKind::Greedy, AlgorithmKind::Approx { eps: 0.5 }];
     let mut series: Vec<Series> = roster.iter().map(|k| Series::new(k.label())).collect();
-    for &users in &grid {
+    let outcomes = parallel_map(&grid, threads, |&users| {
         let scenario = Scenario {
             name: format!("fig5-users-{users}"),
             mobility: MobilityKind::RandomWalk { num_users: users },
@@ -36,7 +37,9 @@ fn main() {
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);
-        let outcome = sim::run_scenario(&scenario).expect("scenario");
+        sim::run_scenario(&scenario).expect("scenario")
+    });
+    for (&users, outcome) in grid.iter().zip(&outcomes) {
         for (s, alg) in series.iter_mut().zip(&outcome.algorithms) {
             s.push_from(users as f64, &alg.ratios);
         }

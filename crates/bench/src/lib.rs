@@ -5,14 +5,21 @@
 //! flags:
 //!
 //! ```text
-//! --users N    number of users (default per figure)
-//! --slots N    number of time slots (default per figure)
-//! --reps N     repetitions per point (default 5, as in the paper)
-//! --seed N     base RNG seed
-//! --json PATH  also write the raw series as JSON
+//! --users N     number of users (default per figure)
+//! --slots N     number of time slots (default per figure)
+//! --reps N      repetitions per point (default 5, as in the paper)
+//! --seed N      base RNG seed
+//! --threads N   sweep points solved concurrently (default: all cores)
+//! --json PATH   also write the raw series as JSON
 //! ```
+//!
+//! Sweep points are independent scenarios (each seeds its own RNG), so the
+//! figure binaries fan them out with [`parallel_map`]; results are
+//! identical to a sequential sweep, point order included.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parsed command-line flags (`--key value` pairs only).
 #[derive(Debug, Clone, Default)]
@@ -81,6 +88,62 @@ impl Flags {
     }
 }
 
+/// Number of worker threads to default a sweep to: every available core.
+///
+/// Note that [`sim::run_scenario`] already fans a scenario's *repetitions*
+/// across threads, so a sweep running `threads` points concurrently peaks
+/// at `threads × repetitions` OS threads — each solving a small
+/// independent problem, which the scheduler handles fine at figure scale.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads, pulling
+/// work from a shared atomic queue (long points don't straggle behind a
+/// static partition). Results come back in input order, so a parallel
+/// sweep emits exactly the series a sequential one would.
+///
+/// With `threads <= 1` (or a single item) the map runs inline on the
+/// calling thread.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once the scope joins — the
+/// figure binaries treat a failed sweep point as fatal anyway.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *cells[i].lock().expect("result cell poisoned") = Some(r);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| {
+            c.into_inner()
+                .expect("result cell poisoned")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
 /// Writes `content` to `path` if `path` is `Some`, creating parent
 /// directories; logs the destination.
 ///
@@ -111,6 +174,32 @@ mod tests {
         assert_eq!(f.usize("users", 10), 40);
         assert_eq!(f.usize("slots", 30), 30);
         assert_eq!(f.str("json"), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |&v| 2 * v);
+        assert_eq!(doubled, items.iter().map(|v| 2 * v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_more_threads_than_items() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&v| v + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_single_thread_runs_inline() {
+        let items = vec![5, 6];
+        assert_eq!(parallel_map(&items, 1, |&v| v * v), vec![25, 36]);
+        assert_eq!(parallel_map(&items, 0, |&v| v * v), vec![25, 36]);
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let items: Vec<u8> = Vec::new();
+        assert!(parallel_map(&items, 4, |&v| v).is_empty());
     }
 
     #[test]

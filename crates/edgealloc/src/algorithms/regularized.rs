@@ -3,7 +3,7 @@
 use crate::algorithms::{OnlineAlgorithm, SlotInput};
 use crate::allocation::Allocation;
 use crate::health::{FallbackRung, SlotHealth};
-use crate::programs::p2::{self, CapacityMode, Epsilons, P2Solution};
+use crate::programs::p2::{self, CapacityMode, Epsilons, P2Solution, P2Workspace};
 use crate::programs::per_slot_lp::{
     add_dynamic_terms, base_lp, solve_to_allocation_resilient, StaticTerms,
 };
@@ -43,7 +43,13 @@ pub struct OnlineRegularized {
     capacity_mode: CapacityMode,
     policy: RetryPolicy,
     fallback: bool,
+    workspace_reuse: bool,
+    adaptive_t0: bool,
+    workspace: Option<P2Workspace>,
     last_solution: Option<Vec<f64>>,
+    /// Terminal barrier parameter `t` of the previous slot's accepted
+    /// solve, used to seed the next slot's `t0` (see [`Self::without_adaptive_t0`]).
+    last_t_final: Option<f64>,
     /// Duals of the most recent slot, exposed for the analysis tests.
     last_duals: Option<(Vec<f64>, Vec<f64>)>,
     last_health: Option<SlotHealth>,
@@ -60,7 +66,11 @@ impl OnlineRegularized {
             capacity_mode: CapacityMode::Paper10b,
             policy: RetryPolicy::default(),
             fallback: true,
+            workspace_reuse: true,
+            adaptive_t0: true,
+            workspace: None,
             last_solution: None,
+            last_t_final: None,
             last_duals: None,
             last_health: None,
         }
@@ -83,6 +93,28 @@ impl OnlineRegularized {
     /// (ablation knob; results are identical, only solve time changes).
     pub fn without_warm_start(mut self) -> Self {
         self.warm_start = false;
+        self
+    }
+
+    /// Disables the persistent per-horizon solve workspace: every slot
+    /// rebuilds the ℙ₂ constraint matrix, objective structure, and Schur
+    /// coupling from scratch, as the pre-workspace implementation did
+    /// (ablation/debugging knob; solves are bit-identical either way, only
+    /// per-slot build work and allocations change).
+    pub fn without_workspace_reuse(mut self) -> Self {
+        self.workspace_reuse = false;
+        self.workspace = None;
+        self
+    }
+
+    /// Disables adaptive seeding of the barrier parameter `t0` from the
+    /// previous slot's terminal `t`. By default, a warm-started slot begins
+    /// near the barrier parameter where the previous slot finished (backed
+    /// off by 10³), skipping the outer iterations that would only retrace
+    /// the central path the warm point already sits on. Results change only
+    /// within the duality-gap tolerance.
+    pub fn without_adaptive_t0(mut self) -> Self {
+        self.adaptive_t0 = false;
         self
     }
 
@@ -157,20 +189,51 @@ impl OnlineRegularized {
     /// options, then escalating relaxations. Level 0 reproduces
     /// [`p2::solve_with_mode`] exactly (including the phase-I fallback for
     /// a rejected warm start), so healthy horizons are bit-identical to a
-    /// ladder-free run.
+    /// ladder-free run (modulo the adaptive `t0` seeding, which moves
+    /// results only within the duality-gap tolerance and can be pinned off
+    /// with [`Self::without_adaptive_t0`]).
     fn solve_p2_ladder(
         &mut self,
         input: &SlotInput<'_>,
         prev: &Allocation,
         health: &mut SlotHealth,
     ) -> Result<P2Solution> {
-        let solver = p2::build_with_mode(input, prev, self.eps, self.capacity_mode)?;
+        // Taken, not read: a slot that produces no accepted barrier solve
+        // must leave the *next* slot with a cold t0.
+        let prev_t_final = self.last_t_final.take();
+        // The persistent workspace keeps the constraint matrix, objective
+        // structure, and Schur coupling across slots; only term values and
+        // the rhs are refreshed. The ablation path rebuilds per slot.
+        let fresh: Option<optim::convex::BarrierSolver> = if self.workspace_reuse {
+            // `take` so a refresh failure drops the workspace: the next
+            // slot then rebuilds instead of inheriting half-refreshed
+            // values (the failed slot itself falls to a fallback rung).
+            let ws = match self.workspace.take() {
+                Some(mut ws) => {
+                    ws.refresh(input, prev)?;
+                    ws
+                }
+                None => P2Workspace::new(input, prev, self.eps, self.capacity_mode)?,
+            };
+            self.workspace = Some(ws);
+            None
+        } else {
+            Some(p2::build_with_mode(input, prev, self.eps, self.capacity_mode)?)
+        };
+        let total_constraints = {
+            let solver = fresh
+                .as_ref()
+                .or_else(|| self.workspace.as_ref().map(P2Workspace::solver))
+                .expect("one solve path was just set up");
+            (solver.num_rows() + solver.num_vars()) as f64
+        };
         let proportional = p2::proportional_start(input);
         let warm = if self.warm_start {
             self.last_solution.as_deref()
         } else {
             None
         };
+        let warm_available = warm.is_some();
         let chosen = warm.or(proportional.as_deref());
         let levels = if self.fallback {
             self.policy.max_attempts.max(1)
@@ -179,24 +242,54 @@ impl OnlineRegularized {
         };
         let mut last_err: Option<optim::Error> = None;
         for k in 0..levels {
-            let opts = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+            let mut opts = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
             let start = if k == 0 { chosen } else { None };
+            // Adaptive t0: a warm start sits next to the previous slot's
+            // end of the central path, so begin near the barrier parameter
+            // where that slot terminated (backed off by 10³ ≈ μ²·³ to
+            // re-center) instead of retracing the path from t0 = 1. Only
+            // the warm-started first attempt qualifies — ladder retries
+            // and phase-I fallbacks start far from the path and need the
+            // cold schedule.
+            if k == 0 && self.adaptive_t0 && warm_available {
+                if let Some(t_final) = prev_t_final {
+                    opts.t0 = opts.t0.max((t_final * 1e-3).min(1e10));
+                }
+            }
             if k > 0 {
                 health.rung = FallbackRung::RelaxedTolerance;
             }
             health.attempts += 1;
-            let attempt = match solver.solve(start, &opts) {
+            let first = match (&fresh, self.workspace.as_mut()) {
+                (Some(solver), _) => solver.solve(start, &opts),
+                (None, Some(ws)) => ws.solve_raw(start, &opts),
+                (None, None) => unreachable!("one solve path was just set up"),
+            };
+            let attempt = match first {
                 // A supplied start can be (numerically) on the boundary;
-                // drop to phase-I at the *same* options before relaxing.
+                // drop to phase-I before relaxing — at the *cold* options:
+                // the phase-I point is far from the central path, where an
+                // adaptive t0 would be counterproductive.
                 Err(optim::Error::BadStartingPoint(_)) if k == 0 && start.is_some() => {
                     health.attempts += 1;
-                    solver.solve(None, &opts)
+                    let cold = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+                    match (&fresh, self.workspace.as_mut()) {
+                        (Some(solver), _) => solver.solve(None, &cold),
+                        (None, Some(ws)) => ws.solve_raw(None, &cold),
+                        (None, None) => unreachable!("one solve path was just set up"),
+                    }
                 }
                 other => other,
             };
             match attempt {
                 Ok(sol) => {
                     health.final_residual = sol.stats.gap;
+                    health.newton_steps = sol.stats.newton_steps;
+                    health.outer_iterations = sol.stats.outer_iterations;
+                    // Terminal t = (m+n)/gap seeds the next slot's t0.
+                    if sol.stats.gap.is_finite() && sol.stats.gap > 0.0 {
+                        self.last_t_final = Some(total_constraints / sol.stats.gap);
+                    }
                     return Ok(p2::solution_from_barrier(input, sol));
                 }
                 Err(err) => {
@@ -288,7 +381,9 @@ impl OnlineAlgorithm for OnlineRegularized {
     }
 
     fn reset(&mut self) {
+        self.workspace = None;
         self.last_solution = None;
+        self.last_t_final = None;
         self.last_duals = None;
         self.last_health = None;
     }
@@ -409,6 +504,60 @@ mod tests {
         let ca = evaluate_trajectory(&inst, &a.allocations).total();
         let cb = evaluate_trajectory(&inst, &b.allocations).total();
         assert!((ca - cb).abs() / cb < 1e-3, "warm {ca} vs cold {cb}");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_builds_exactly() {
+        // With adaptive t0 pinned off, the refreshed workspace must hold a
+        // solver state identical to a per-slot rebuild: trajectories agree
+        // bit for bit, not just within tolerance.
+        let inst = Instance::fig1_example(2.1, true);
+        let mut reused = OnlineRegularized::with_defaults().without_adaptive_t0();
+        let mut fresh = OnlineRegularized::with_defaults()
+            .without_adaptive_t0()
+            .without_workspace_reuse();
+        let a = run_online(&inst, &mut reused).unwrap();
+        let b = run_online(&inst, &mut fresh).unwrap();
+        for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+            assert_eq!(xa.as_flat(), xb.as_flat(), "slot {t} diverged");
+        }
+    }
+
+    #[test]
+    fn adaptive_t0_changes_result_only_within_tolerance() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut adaptive = OnlineRegularized::with_defaults();
+        let mut cold = OnlineRegularized::with_defaults().without_adaptive_t0();
+        let a = run_online(&inst, &mut adaptive).unwrap();
+        let b = run_online(&inst, &mut cold).unwrap();
+        let ca = evaluate_trajectory(&inst, &a.allocations).total();
+        let cb = evaluate_trajectory(&inst, &b.allocations).total();
+        assert!((ca - cb).abs() / cb < 1e-6, "adaptive {ca} vs cold {cb}");
+        // The point of the seeding: strictly fewer outer iterations after
+        // the first slot.
+        let outers = |traj: &crate::algorithms::Trajectory| {
+            traj.health[1..].iter().map(|h| h.outer_iterations).sum::<usize>()
+        };
+        assert!(
+            outers(&a) < outers(&b),
+            "adaptive t0 did not save outer iterations ({} vs {})",
+            outers(&a),
+            outers(&b)
+        );
+    }
+
+    #[test]
+    fn health_records_solver_effort() {
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        for (t, h) in traj.health.iter().enumerate() {
+            assert!(h.newton_steps > 0, "slot {t} recorded no Newton steps");
+            assert!(h.outer_iterations > 0, "slot {t} recorded no outer iterations");
+        }
+        let summary = traj.health_summary();
+        assert!(summary.newton_steps >= traj.health.len());
+        assert!(summary.peak_outer_iterations > 0);
     }
 
     #[test]

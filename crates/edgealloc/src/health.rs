@@ -54,6 +54,15 @@ pub struct SlotHealth {
     /// Whether the slot's inputs were sanitized (non-finite or negative
     /// data replaced) before solving.
     pub sanitized: bool,
+    /// Total Newton steps of the accepted barrier solve (0 when the slot
+    /// was decided by an LP rung or carry-forward, and in records written
+    /// before this field existed).
+    #[serde(default)]
+    pub newton_steps: usize,
+    /// Outer (centering) iterations of the accepted barrier solve (0 for
+    /// non-barrier rungs and legacy records).
+    #[serde(default)]
+    pub outer_iterations: usize,
     /// Errors swallowed along the way (the failures that pushed the
     /// decision down the ladder), newest last.
     pub errors: Vec<String>,
@@ -69,6 +78,8 @@ impl SlotHealth {
             wall_time_ms: 0.0,
             repaired: false,
             sanitized: false,
+            newton_steps: 0,
+            outer_iterations: 0,
             errors: Vec::new(),
         }
     }
@@ -91,6 +102,8 @@ impl SlotHealth {
             wall_time_ms: report.wall_time_ms,
             repaired: false,
             sanitized: false,
+            newton_steps: 0,
+            outer_iterations: 0,
             errors: report.error.iter().cloned().collect(),
         }
     }
@@ -156,6 +169,13 @@ pub struct HealthSummary {
     pub sanitized_slots: usize,
     /// Slots whose allocation needed fallback rungs, by rung.
     pub rungs: RungCounts,
+    /// Total Newton steps across all barrier-decided slots.
+    #[serde(default)]
+    pub newton_steps: usize,
+    /// Largest number of outer (centering) iterations any single slot's
+    /// accepted barrier solve needed.
+    #[serde(default)]
+    pub peak_outer_iterations: usize,
 }
 
 impl HealthSummary {
@@ -173,6 +193,8 @@ impl HealthSummary {
                 summary.sanitized_slots += 1;
             }
             summary.rungs.record(h.rung);
+            summary.newton_steps += h.newton_steps;
+            summary.peak_outer_iterations = summary.peak_outer_iterations.max(h.outer_iterations);
         }
         summary
     }
@@ -183,6 +205,8 @@ impl HealthSummary {
         self.degraded_slots += other.degraded_slots;
         self.sanitized_slots += other.sanitized_slots;
         self.rungs.merge(&other.rungs);
+        self.newton_steps += other.newton_steps;
+        self.peak_outer_iterations = self.peak_outer_iterations.max(other.peak_outer_iterations);
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -242,6 +266,36 @@ mod tests {
         assert_eq!(x.slots, 2);
         assert_eq!(x.degraded_slots, 1);
         assert_eq!(x.rungs.carry_forward, 1);
+    }
+
+    #[test]
+    fn summary_aggregates_solver_effort() {
+        let mut a = SlotHealth::primary();
+        a.newton_steps = 12;
+        a.outer_iterations = 8;
+        let mut b = SlotHealth::primary();
+        b.newton_steps = 5;
+        b.outer_iterations = 3;
+        let mut s = HealthSummary::from_slots(&[a, b]);
+        assert_eq!(s.newton_steps, 17);
+        assert_eq!(s.peak_outer_iterations, 8);
+        let other = HealthSummary {
+            newton_steps: 1,
+            peak_outer_iterations: 11,
+            ..HealthSummary::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.newton_steps, 18);
+        assert_eq!(s.peak_outer_iterations, 11);
+    }
+
+    #[test]
+    fn legacy_health_json_without_effort_fields_deserializes() {
+        let legacy = r#"{"rung":"Primary","attempts":1,"final_residual":0.0,
+            "wall_time_ms":0.0,"repaired":false,"sanitized":false,"errors":[]}"#;
+        let h: SlotHealth = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.newton_steps, 0);
+        assert_eq!(h.outer_iterations, 0);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::algorithms::SlotInput;
 use crate::allocation::Allocation;
 use crate::{Error, Result};
-use optim::convex::{BarrierOptions, BarrierSolver, ScalarTerm, SeparableObjective};
+use optim::convex::{
+    BarrierOptions, BarrierSolution, BarrierSolver, BarrierWorkspace, ScalarTerm,
+    SeparableObjective,
+};
 use optim::sparse::Triplets;
 
 /// How ℙ₂ encodes the capacity limits.
@@ -101,25 +104,20 @@ pub fn build_with_mode(
     let num_clouds = input.num_clouds();
     let num_users = input.num_users();
     let n = num_clouds * num_users;
-    let w = input.weights;
     let total_workload: f64 = input.workloads.iter().sum();
 
     let mut f = SeparableObjective::new(n);
     for i in 0..num_clouds {
-        let cap = input.system.capacity(i);
-        let c_tilde = w.reconfig * input.reconfig_prices[i];
-        let b_tilde = w.migration * input.migration_total(i);
-        let eta = (1.0 + cap / eps.eps1).ln();
         // Per-cloud aggregate regularizer (reconfiguration smoothing). A
         // degenerate η — zero for a zero-capacity (down) cloud, non-finite
         // for corrupted capacities — would poison the objective, so such
         // clouds simply lose their smoothing term.
-        if c_tilde > 0.0 && eta.is_finite() && eta > 0.0 {
+        if let Some(weight) = reconfig_weight(input, i, eps.eps1) {
             let members: Vec<usize> = (0..num_users).map(|j| i * num_users + j).collect();
             f.add_group(
                 members,
                 ScalarTerm::RelativeEntropy {
-                    weight: c_tilde / eta,
+                    weight,
                     eps: eps.eps1,
                     xref: prev.cloud_total(i),
                 },
@@ -127,26 +125,15 @@ pub fn build_with_mode(
         }
         for j in 0..num_users {
             let k = i * num_users + j;
-            let lambda = input.workloads[j];
-            let l = input.attachment[j];
-            // Linear part: operation + service quality.
-            let lin = w.operation * input.operation_prices[i]
-                + w.quality * input.system.delay(l, i) / lambda;
-            if !lin.is_finite() {
-                return Err(Error::Invalid(format!(
-                    "non-finite objective coefficient for cloud {i}, user {j} \
-                     (corrupted prices or delays; sanitize the input first)"
-                )));
-            }
+            let lin = linear_coef(input, i, j)?;
             f.add_term(k, ScalarTerm::Linear { coef: lin });
             // Per-(i,j) regularizer (migration smoothing); τ degenerates
             // like η does when λ_j is corrupted.
-            let tau = (1.0 + lambda / eps.eps2).ln();
-            if b_tilde > 0.0 && tau.is_finite() && tau > 0.0 {
+            if let Some(weight) = migration_weight(input, i, j, eps.eps2) {
                 f.add_term(
                     k,
                     ScalarTerm::RelativeEntropy {
-                        weight: b_tilde / tau,
+                        weight,
                         eps: eps.eps2,
                         xref: prev.get(i, j),
                     },
@@ -179,18 +166,227 @@ pub fn build_with_mode(
                         a.push(num_users + i, k * num_users + j, 1.0);
                     }
                 }
-                b.push(total_workload - input.system.capacity(i));
             }
             CapacityMode::Explicit => {
                 // −Σ_j x_ij ≥ −C_i in the solver's `A x ≥ b` form.
                 for j in 0..num_users {
                     a.push(num_users + i, i * num_users + j, -1.0);
                 }
-                b.push(-input.system.capacity(i));
             }
         }
+        b.push(capacity_rhs(input, i, mode, total_workload));
     }
     BarrierSolver::new(f, a.to_csc(), b).map_err(Error::from)
+}
+
+/// Weight `c̃_i/η_i` of cloud `i`'s aggregate (reconfiguration) regularizer,
+/// or `None` when the term is absent (zero reconfiguration price, or a
+/// degenerate η from a zero/corrupted capacity).
+fn reconfig_weight(input: &SlotInput<'_>, i: usize, eps1: f64) -> Option<f64> {
+    let c_tilde = input.weights.reconfig * input.reconfig_prices[i];
+    let eta = (1.0 + input.system.capacity(i) / eps1).ln();
+    (c_tilde > 0.0 && eta.is_finite() && eta > 0.0).then(|| c_tilde / eta)
+}
+
+/// Weight `b̃_i/τ_ij` of the per-(i,j) migration regularizer, or `None`
+/// when the term is absent (zero migration price, or a degenerate τ from a
+/// corrupted workload).
+fn migration_weight(input: &SlotInput<'_>, i: usize, j: usize, eps2: f64) -> Option<f64> {
+    let b_tilde = input.weights.migration * input.migration_total(i);
+    let tau = (1.0 + input.workloads[j] / eps2).ln();
+    (b_tilde > 0.0 && tau.is_finite() && tau > 0.0).then(|| b_tilde / tau)
+}
+
+/// Linear (operation + service-quality) coefficient of variable `(i, j)`.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] when corrupted prices or delays make the
+/// coefficient non-finite.
+fn linear_coef(input: &SlotInput<'_>, i: usize, j: usize) -> Result<f64> {
+    let w = input.weights;
+    let lin = w.operation * input.operation_prices[i]
+        + w.quality * input.system.delay(input.attachment[j], i) / input.workloads[j];
+    if !lin.is_finite() {
+        return Err(Error::Invalid(format!(
+            "non-finite objective coefficient for cloud {i}, user {j} \
+             (corrupted prices or delays; sanitize the input first)"
+        )));
+    }
+    Ok(lin)
+}
+
+/// Right-hand side of cloud `i`'s capacity row in the chosen mode.
+fn capacity_rhs(input: &SlotInput<'_>, i: usize, mode: CapacityMode, total_workload: f64) -> f64 {
+    match mode {
+        CapacityMode::Paper10b => total_workload - input.system.capacity(i),
+        CapacityMode::Explicit => -input.system.capacity(i),
+    }
+}
+
+/// Which terms of ℙ₂ *exist* for a given slot: the per-cloud aggregate
+/// groups and per-(i,j) entropy terms are dropped when their weights
+/// degenerate, so term existence — unlike term values — can in principle
+/// change between slots (e.g. a fault zeroes a capacity mid-horizon).
+/// [`P2Workspace::refresh`] compares signatures to decide between the cheap
+/// in-place value refresh and a full rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StructureSig {
+    num_clouds: usize,
+    num_users: usize,
+    groups: Vec<bool>,
+    entropy: Vec<bool>,
+}
+
+impl StructureSig {
+    fn of(input: &SlotInput<'_>, eps: Epsilons) -> Self {
+        let num_clouds = input.num_clouds();
+        let num_users = input.num_users();
+        let mut entropy = Vec::with_capacity(num_clouds * num_users);
+        for i in 0..num_clouds {
+            for j in 0..num_users {
+                entropy.push(migration_weight(input, i, j, eps.eps2).is_some());
+            }
+        }
+        StructureSig {
+            num_clouds,
+            num_users,
+            groups: (0..num_clouds)
+                .map(|i| reconfig_weight(input, i, eps.eps1).is_some())
+                .collect(),
+            entropy,
+        }
+    }
+}
+
+/// A persistent ℙ₂ solve context for one horizon: the constraint matrix,
+/// the objective's term/group structure, and the barrier solver's Schur
+/// coupling are built **once**; each slot only refreshes the term *values*
+/// (operation prices, delays, entropy references) and the right-hand side,
+/// then solves out of a retained [`BarrierWorkspace`] — the per-slot path
+/// allocates nothing beyond the returned solution.
+///
+/// The cross-slot reuse is sound because ℙ₂'s structure depends only on
+/// per-instance data (capacities, workloads, reconfiguration/migration
+/// prices, weights): per-slot inputs (operation prices, attachments, the
+/// previous allocation) enter as coefficients. [`P2Workspace::refresh`]
+/// still guards with a [`StructureSig`] comparison and transparently
+/// rebuilds when term existence *does* change (fault injection can zero a
+/// capacity or a price mid-horizon).
+#[derive(Debug, Clone)]
+pub struct P2Workspace {
+    solver: BarrierSolver,
+    barrier: BarrierWorkspace,
+    eps: Epsilons,
+    mode: CapacityMode,
+    sig: StructureSig,
+}
+
+impl P2Workspace {
+    /// Builds the workspace for the first slot of a horizon.
+    ///
+    /// # Errors
+    ///
+    /// As [`build_with_mode`].
+    pub fn new(
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        eps: Epsilons,
+        mode: CapacityMode,
+    ) -> Result<Self> {
+        let solver = build_with_mode(input, prev, eps, mode)?;
+        let barrier = BarrierWorkspace::for_solver(&solver);
+        Ok(P2Workspace {
+            barrier,
+            solver,
+            eps,
+            mode,
+            sig: StructureSig::of(input, eps),
+        })
+    }
+
+    /// Re-targets the workspace at a new slot: overwrites every term value
+    /// and right-hand-side entry in place (or rebuilds from scratch when
+    /// the structure signature changed). Produces a solver state identical
+    /// to [`build_with_mode`] on the same inputs, so solves after a refresh
+    /// are bit-for-bit equal to fresh-build solves.
+    ///
+    /// # Errors
+    ///
+    /// As [`build_with_mode`]; on error the workspace holds partially
+    /// refreshed values, which is harmless — the slot is abandoned to a
+    /// fallback rung and the next refresh overwrites every value again.
+    pub fn refresh(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<()> {
+        let sig = StructureSig::of(input, self.eps);
+        if sig != self.sig {
+            self.solver = build_with_mode(input, prev, self.eps, self.mode)?;
+            self.sig = sig;
+            return Ok(());
+        }
+        let num_clouds = input.num_clouds();
+        let num_users = input.num_users();
+        let f = self.solver.objective_mut();
+        let mut g = 0usize;
+        for i in 0..num_clouds {
+            if let Some(weight) = reconfig_weight(input, i, self.eps.eps1) {
+                f.set_group_term(
+                    g,
+                    ScalarTerm::RelativeEntropy {
+                        weight,
+                        eps: self.eps.eps1,
+                        xref: prev.cloud_total(i),
+                    },
+                );
+                g += 1;
+            }
+            for j in 0..num_users {
+                let k = i * num_users + j;
+                f.set_term(k, 0, ScalarTerm::Linear { coef: linear_coef(input, i, j)? });
+                if let Some(weight) = migration_weight(input, i, j, self.eps.eps2) {
+                    f.set_term(
+                        k,
+                        1,
+                        ScalarTerm::RelativeEntropy {
+                            weight,
+                            eps: self.eps.eps2,
+                            xref: prev.get(i, j),
+                        },
+                    );
+                }
+            }
+        }
+        let total_workload: f64 = input.workloads.iter().sum();
+        let b = self.solver.rhs_mut();
+        b[..num_users].copy_from_slice(&input.workloads[..num_users]);
+        for i in 0..num_clouds {
+            b[num_users + i] = capacity_rhs(input, i, self.mode, total_workload);
+        }
+        Ok(())
+    }
+
+    /// Solves the current slot's program out of the retained buffers.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierSolver::solve`].
+    pub fn solve(&mut self, start: Option<&[f64]>, opts: &BarrierOptions) -> Result<BarrierSolution> {
+        self.solve_raw(start, opts).map_err(Error::from)
+    }
+
+    /// [`P2Workspace::solve`] surfacing the raw [`optim::Error`], which the
+    /// degradation ladder inspects (retryability, bad starting points).
+    pub(crate) fn solve_raw(
+        &mut self,
+        start: Option<&[f64]>,
+        opts: &BarrierOptions,
+    ) -> optim::Result<BarrierSolution> {
+        self.solver.solve_with_workspace(start, opts, &mut self.barrier)
+    }
+
+    /// The underlying solver (dimensions, objective evaluation).
+    pub fn solver(&self) -> &BarrierSolver {
+        &self.solver
+    }
 }
 
 /// A strictly feasible starting point: every user's demand spread across

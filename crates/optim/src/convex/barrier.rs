@@ -1,6 +1,6 @@
 //! Log-barrier path-following solver for separable convex programs.
 
-use crate::convex::{DiagPlusLowRank, SeparableObjective};
+use crate::convex::{DiagPlusLowRank, DiagPlusLowRankWorkspace, SeparableObjective};
 use crate::lp::{ConstraintSense, IpmOptions, LpProblem};
 use crate::sparse::{CscMatrix, Triplets};
 use crate::{Error, Result};
@@ -163,6 +163,25 @@ impl BarrierSolver {
         &self.objective
     }
 
+    /// Mutable access to the objective, for refreshing term *values* in
+    /// place between solves (cross-solve reuse: the constraint pattern and
+    /// the group/Schur coupling built at construction are kept).
+    ///
+    /// The structure must not change: do not add variables, terms, or
+    /// groups — only overwrite existing ones via
+    /// [`SeparableObjective::set_term`] / [`SeparableObjective::set_group_term`].
+    /// A changed group count is caught by a debug assertion at the next
+    /// solve; a changed membership silently desyncs the cached coupling.
+    pub fn objective_mut(&mut self) -> &mut SeparableObjective {
+        &mut self.objective
+    }
+
+    /// Mutable access to the right-hand side `b`, for refreshing constraint
+    /// levels in place between solves (the matrix `A` stays fixed).
+    pub fn rhs_mut(&mut self) -> &mut [f64] {
+        &mut self.b
+    }
+
     /// Finds a strictly feasible point by solving the phase-I LP
     /// `min t  s.t.  A x + t·1 ≥ b + δ·1,  x + t·1 ≥ δ·1,  x, t ≥ 0`
     /// for a decreasing sequence of target margins `δ`. The LP is always
@@ -224,12 +243,26 @@ impl BarrierSolver {
     }
 
     fn slacks(&self, x: &[f64]) -> Vec<f64> {
-        let ax = self.a.mul_vec(x);
-        (0..self.num_rows()).map(|r| ax[r] - self.b[r]).collect()
+        let mut s = vec![0.0; self.num_rows()];
+        self.slacks_into(x, &mut s);
+        s
+    }
+
+    /// Constraint slacks `A x − b` written into `out`.
+    fn slacks_into(&self, x: &[f64], out: &mut [f64]) {
+        self.a.mul_vec_into(x, out);
+        for (sr, &br) in out.iter_mut().zip(&self.b) {
+            *sr -= br;
+        }
     }
 
     /// Solves the program, optionally from a strictly feasible start `x0`
     /// (found via [`BarrierSolver::strictly_feasible_start`] when `None`).
+    ///
+    /// Convenience wrapper over [`BarrierSolver::solve_with_workspace`]
+    /// that allocates a fresh [`BarrierWorkspace`]; callers solving the
+    /// same (or a value-refreshed) program repeatedly should hold a
+    /// workspace and reuse it.
     ///
     /// # Errors
     ///
@@ -238,24 +271,54 @@ impl BarrierSolver {
     /// * [`Error::Infeasible`] if phase I finds no interior point.
     /// * [`Error::MaxIterations`] / [`Error::Numerical`] on breakdown.
     pub fn solve(&self, x0: Option<&[f64]>, opts: &BarrierOptions) -> Result<BarrierSolution> {
+        let mut ws = BarrierWorkspace::for_solver(self);
+        self.solve_with_workspace(x0, opts, &mut ws)
+    }
+
+    /// [`BarrierSolver::solve`] against a caller-held [`BarrierWorkspace`].
+    ///
+    /// Every Newton-step intermediate — slacks, gradients, the Newton
+    /// diagonal, the Schur-complement scratch, line-search candidates —
+    /// lives in `ws`, so the inner loop performs **no heap allocation**
+    /// (verified by `tests/alloc_free.rs`). The workspace carries across
+    /// solves: per-horizon callers build it once and reuse it every slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierSolver::solve`].
+    pub fn solve_with_workspace(
+        &self,
+        x0: Option<&[f64]>,
+        opts: &BarrierOptions,
+        ws: &mut BarrierWorkspace,
+    ) -> Result<BarrierSolution> {
         let n = self.num_vars();
         let m = self.num_rows();
-        let mut x = match x0 {
+        debug_assert_eq!(
+            self.objective.groups().len(),
+            self.num_groups,
+            "objective structure changed under a live solver (see objective_mut)"
+        );
+        ws.resize_for(self);
+        match x0 {
             Some(start) => {
                 if start.len() != n {
                     return Err(Error::Dimension("starting point length".into()));
                 }
-                let s = self.slacks(start);
+                self.slacks_into(start, &mut ws.slack);
                 if start.iter().any(|&v| v <= 0.0) {
                     return Err(Error::BadStartingPoint("some x_k ≤ 0".into()));
                 }
-                if s.iter().any(|&v| v <= 0.0) {
+                if ws.slack.iter().any(|&v| v <= 0.0) {
                     return Err(Error::BadStartingPoint("some constraint slack ≤ 0".into()));
                 }
-                start.to_vec()
+                ws.x.copy_from_slice(start);
             }
-            None => self.strictly_feasible_start()?,
-        };
+            None => {
+                let start = self.strictly_feasible_start()?;
+                ws.x.copy_from_slice(&start);
+            }
+        }
 
         let mut t = opts.t0;
         let mut stats = BarrierStats {
@@ -264,43 +327,46 @@ impl BarrierSolver {
             gap: f64::INFINITY,
         };
         let total_constraints = (m + n) as f64;
-
-        let mut grad_f = vec![0.0; n];
-        let mut diag_f = vec![0.0; n];
+        let trace = std::env::var_os("OPTIM_TRACE").is_some();
 
         for outer in 0..opts.max_outer {
             stats.outer_iterations = outer + 1;
+            let steps_before = stats.newton_steps;
+            let mut trials = 0usize;
             // ---- center at parameter t ----
             for _ in 0..opts.max_newton {
-                let slack = self.slacks(&x);
-                self.objective.gradient_into(&x, &mut grad_f);
-                self.objective.hessian_diag_into(&x, &mut diag_f);
-                let group_h = self.objective.group_curvatures(&x);
+                self.slacks_into(&ws.x, &mut ws.slack);
+                self.objective.gradient_into(&ws.x, &mut ws.grad_f);
+                self.objective.hessian_diag_into(&ws.x, &mut ws.diag_f);
+                self.objective.group_curvatures_into(&ws.x, &mut ws.group_h);
 
-                // Gradient of the barrier.
-                let inv_slack: Vec<f64> = slack.iter().map(|&s| 1.0 / s).collect();
-                let at_inv_slack = self.a.mul_transpose_vec(&inv_slack);
-                let mut g: Vec<f64> = (0..n)
-                    .map(|k| t * grad_f[k] - at_inv_slack[k] - 1.0 / x[k])
-                    .collect();
-
-                // Newton matrix pieces.
-                let d: Vec<f64> = (0..n)
-                    .map(|k| (t * diag_f[k] + 1.0 / (x[k] * x[k])).max(1e-14))
-                    .collect();
-                let mut e = Vec::with_capacity(self.num_groups + m);
-                for &h in &group_h {
-                    e.push(t * h);
+                // Gradient of the barrier (assembled directly in negated
+                // form: the Newton system is H dx = −∇ψ).
+                for (ir, &sr) in ws.inv_slack.iter_mut().zip(&ws.slack) {
+                    *ir = 1.0 / sr;
                 }
-                for &s in &slack {
-                    e.push(1.0 / (s * s));
+                self.a.mul_transpose_vec_into(&ws.inv_slack, &mut ws.at_inv_slack);
+                for k in 0..n {
+                    ws.g[k] = -(t * ws.grad_f[k] - ws.at_inv_slack[k] - 1.0 / ws.x[k]);
+                    // Newton matrix diagonal.
+                    ws.d[k] = (t * ws.diag_f[k] + 1.0 / (ws.x[k] * ws.x[k])).max(1e-14);
                 }
-                for gk in &mut g {
-                    *gk = -*gk; // solve H dx = −g
+                for (gi, &h) in ws.group_h.iter().enumerate() {
+                    ws.e[gi] = t * h;
                 }
-                let dx = self.coupling.solve(&d, &e, &g)?;
+                for (r, &s) in ws.slack.iter().enumerate() {
+                    ws.e[self.num_groups + r] = 1.0 / (s * s);
+                }
+                self.coupling
+                    .solve_into(&ws.d, &ws.e, &ws.g, &mut ws.schur, &mut ws.dx)?;
                 // Newton decrement λ² = dxᵀ H dx = −∇ψᵀ dx = gᵀ dx (g already negated).
-                let lambda2: f64 = g.iter().zip(&dx).map(|(a, b)| a * b).sum::<f64>().max(0.0);
+                let lambda2: f64 = ws
+                    .g
+                    .iter()
+                    .zip(&ws.dx)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    .max(0.0);
                 stats.newton_steps += 1;
                 if 0.5 * lambda2 < opts.inner_tol {
                     break;
@@ -309,29 +375,34 @@ impl BarrierSolver {
                 // Ratio test for strict feasibility.
                 let mut alpha_max = 1.0f64;
                 for k in 0..n {
-                    if dx[k] < 0.0 {
-                        alpha_max = alpha_max.min(-x[k] / dx[k]);
+                    if ws.dx[k] < 0.0 {
+                        alpha_max = alpha_max.min(-ws.x[k] / ws.dx[k]);
                     }
                 }
-                let ds = self.a.mul_vec(&dx);
+                self.a.mul_vec_into(&ws.dx, &mut ws.ds);
                 for r in 0..m {
-                    if ds[r] < 0.0 {
-                        alpha_max = alpha_max.min(-slack[r] / ds[r]);
+                    if ws.ds[r] < 0.0 {
+                        alpha_max = alpha_max.min(-ws.slack[r] / ws.ds[r]);
                     }
                 }
                 let mut alpha = (0.99 * alpha_max).min(1.0);
                 // Backtracking (Armijo on the barrier function).
-                let psi0 = self.barrier_value(t, &x, &slack);
+                let psi0 = self.barrier_value(t, &ws.x, &ws.slack);
                 let slope = -lambda2; // ∇ψᵀ dx
                 let mut accepted = false;
+                let mut psi_accepted = psi0;
                 for _ in 0..60 {
-                    let xn: Vec<f64> = (0..n).map(|k| x[k] + alpha * dx[k]).collect();
-                    let sn = self.slacks(&xn);
-                    if xn.iter().all(|&v| v > 0.0) && sn.iter().all(|&v| v > 0.0) {
-                        let psi = self.barrier_value(t, &xn, &sn);
+                    trials += 1;
+                    for k in 0..n {
+                        ws.xn[k] = ws.x[k] + alpha * ws.dx[k];
+                    }
+                    self.slacks_into(&ws.xn, &mut ws.sn);
+                    if ws.xn.iter().all(|&v| v > 0.0) && ws.sn.iter().all(|&v| v > 0.0) {
+                        let psi = self.barrier_value(t, &ws.xn, &ws.sn);
                         if psi <= psi0 + 0.01 * alpha * slope {
-                            x = xn;
+                            std::mem::swap(&mut ws.x, &mut ws.xn);
                             accepted = true;
+                            psi_accepted = psi;
                             break;
                         }
                     }
@@ -342,17 +413,31 @@ impl BarrierSolver {
                     // floating point allows at this t.
                     break;
                 }
+                // At large t the barrier value sits at ~t·f ≫ 1, and the
+                // Armijo threshold `0.01·α·slope` eventually falls below one
+                // ulp of ψ — steps then "succeed" with no representable
+                // descent and the centering spins until `max_newton`. Treat
+                // a sub-ulp decrease as converged-at-this-precision.
+                if psi0 - psi_accepted <= 1e-13 * (1.0 + psi0.abs()) {
+                    break;
+                }
             }
 
             stats.gap = total_constraints / t;
-            let fval = self.objective.value(&x);
+            if trace {
+                eprintln!(
+                    "outer {outer}: t={t:.3e} steps={} trials={trials}",
+                    stats.newton_steps - steps_before
+                );
+            }
+            let fval = self.objective.value(&ws.x);
             if stats.gap <= opts.tol * (1.0 + fval.abs()) {
-                let slack = self.slacks(&x);
+                self.slacks_into(&ws.x, &mut ws.slack);
                 return Ok(BarrierSolution {
                     objective: fval,
-                    row_duals: slack.iter().map(|&s| 1.0 / (t * s)).collect(),
-                    bound_duals: x.iter().map(|&v| 1.0 / (t * v)).collect(),
-                    x,
+                    row_duals: ws.slack.iter().map(|&s| 1.0 / (t * s)).collect(),
+                    bound_duals: ws.x.iter().map(|&v| 1.0 / (t * v)).collect(),
+                    x: ws.x.clone(),
                     stats,
                 });
             }
@@ -362,6 +447,69 @@ impl BarrierSolver {
             iterations: opts.max_outer,
             residual: stats.gap,
         })
+    }
+}
+
+/// Preallocated buffers for [`BarrierSolver::solve_with_workspace`]: every
+/// per-Newton-step vector (slacks, gradient, Newton diagonal, step, line
+/// search candidates) plus the [`DiagPlusLowRankWorkspace`] for the Schur
+/// solve. Reusable across Newton steps, across solves, and across
+/// value-refreshed re-solves of the same program — the persistent-workspace
+/// online path holds exactly one of these per horizon.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierWorkspace {
+    x: Vec<f64>,
+    slack: Vec<f64>,
+    inv_slack: Vec<f64>,
+    at_inv_slack: Vec<f64>,
+    grad_f: Vec<f64>,
+    diag_f: Vec<f64>,
+    group_h: Vec<f64>,
+    g: Vec<f64>,
+    d: Vec<f64>,
+    e: Vec<f64>,
+    dx: Vec<f64>,
+    ds: Vec<f64>,
+    xn: Vec<f64>,
+    sn: Vec<f64>,
+    schur: DiagPlusLowRankWorkspace,
+}
+
+impl BarrierWorkspace {
+    /// A workspace fully pre-sized for `solver`, so even the first solve
+    /// performs no buffer growth.
+    pub fn for_solver(solver: &BarrierSolver) -> Self {
+        let mut ws = BarrierWorkspace {
+            schur: DiagPlusLowRankWorkspace::for_solver(&solver.coupling),
+            ..BarrierWorkspace::default()
+        };
+        ws.resize_for(solver);
+        ws
+    }
+
+    /// Resizes every buffer for `solver`. A no-op when dimensions already
+    /// match (the steady state); after a structural rebuild it regrows only
+    /// what changed, keeping spare capacity.
+    pub fn resize_for(&mut self, solver: &BarrierSolver) {
+        let n = solver.num_vars();
+        let m = solver.num_rows();
+        for buf in [
+            &mut self.x,
+            &mut self.grad_f,
+            &mut self.diag_f,
+            &mut self.g,
+            &mut self.d,
+            &mut self.dx,
+            &mut self.xn,
+        ] {
+            buf.resize(n, 0.0);
+        }
+        for buf in [&mut self.slack, &mut self.inv_slack, &mut self.ds, &mut self.sn] {
+            buf.resize(m, 0.0);
+        }
+        self.at_inv_slack.resize(n, 0.0);
+        self.group_h.resize(solver.num_groups, 0.0);
+        self.e.resize(solver.num_groups + m, 0.0);
     }
 }
 

@@ -23,6 +23,6 @@ mod barrier;
 mod schur;
 mod separable;
 
-pub use barrier::{BarrierOptions, BarrierSolution, BarrierSolver, BarrierStats};
-pub use schur::DiagPlusLowRank;
+pub use barrier::{BarrierOptions, BarrierSolution, BarrierSolver, BarrierStats, BarrierWorkspace};
+pub use schur::{DiagPlusLowRank, DiagPlusLowRankWorkspace};
 pub use separable::{GroupTerm, ScalarTerm, SeparableObjective};

@@ -58,6 +58,10 @@ impl DiagPlusLowRank {
 
     /// Solves `(D + Uᵀ E U) dx = r`.
     ///
+    /// Convenience wrapper over [`DiagPlusLowRank::solve_into`] that
+    /// allocates a fresh workspace; hot loops should hold a
+    /// [`DiagPlusLowRankWorkspace`] and call `solve_into` directly.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Numerical`] if the Schur complement is not positive
@@ -67,42 +71,78 @@ impl DiagPlusLowRank {
     ///
     /// Panics on dimension mismatch or non-positive `d`.
     pub fn solve(&self, d: &[f64], e: &[f64], r: &[f64]) -> Result<Vec<f64>> {
+        let mut ws = DiagPlusLowRankWorkspace::for_solver(self);
+        let mut dx = vec![0.0; self.dim()];
+        self.solve_into(d, e, r, &mut ws, &mut dx)?;
+        Ok(dx)
+    }
+
+    /// Solves `(D + Uᵀ E U) dx = r` into `dx`, reusing `ws` for every
+    /// intermediate: the active-row scratch, the Gram accumulation matrix,
+    /// and the dense Cholesky storage. After the workspace has warmed up
+    /// (first call at a given active-row count), repeat solves perform no
+    /// heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] if the Schur complement is not positive
+    /// definite (should not happen for `D ≻ 0`, `E ⪰ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive `d`.
+    pub fn solve_into(
+        &self,
+        d: &[f64],
+        e: &[f64],
+        r: &[f64],
+        ws: &mut DiagPlusLowRankWorkspace,
+        dx: &mut [f64],
+    ) -> Result<()> {
         let n = self.dim();
         let p = self.rank();
         assert_eq!(d.len(), n, "diagonal length mismatch");
         assert_eq!(e.len(), p, "low-rank weight length mismatch");
         assert_eq!(r.len(), n, "rhs length mismatch");
+        assert_eq!(dx.len(), n, "solution length mismatch");
         assert!(d.iter().all(|&v| v > 0.0), "D must be positive");
 
         // Active rows: E_i > 0 (denormals excluded — their reciprocal
         // overflows to infinity and poisons the Schur complement).
-        let active: Vec<usize> = (0..p).filter(|&i| e[i] > 1e-300).collect();
-        let z: Vec<f64> = (0..n).map(|k| r[k] / d[k]).collect();
-        if active.is_empty() {
-            return Ok(z);
+        ws.active.clear();
+        ws.active.extend((0..p).filter(|&i| e[i] > 1e-300));
+        ws.z.resize(n, 0.0);
+        for k in 0..n {
+            ws.z[k] = r[k] / d[k];
         }
-        let q = active.len();
-        let mut row_of = vec![usize::MAX; p];
-        for (qi, &i) in active.iter().enumerate() {
-            row_of[i] = qi;
+        if ws.active.is_empty() {
+            dx.copy_from_slice(&ws.z);
+            return Ok(());
+        }
+        let q = ws.active.len();
+        ws.row_of.clear();
+        ws.row_of.resize(p, usize::MAX);
+        for (qi, &i) in ws.active.iter().enumerate() {
+            ws.row_of[i] = qi;
         }
 
         // S = E_active⁻¹ + U_active D⁻¹ U_activeᵀ, built column-by-column of U.
-        let mut s = DenseMatrix::zeros(q, q);
-        for (qi, &i) in active.iter().enumerate() {
+        ws.s.resize_reset(q, q);
+        let s = &mut ws.s;
+        for (qi, &i) in ws.active.iter().enumerate() {
             s.set(qi, qi, 1.0 / e[i]);
         }
         for k in 0..n {
             let (rows, vals) = self.u.col(k);
             let dk_inv = 1.0 / d[k];
             for (a, &ra) in rows.iter().enumerate() {
-                let qa = row_of[ra];
+                let qa = ws.row_of[ra];
                 if qa == usize::MAX {
                     continue;
                 }
                 let va = vals[a] * dk_inv;
                 for (bidx, &rb) in rows.iter().enumerate().skip(a) {
-                    let qb = row_of[rb];
+                    let qb = ws.row_of[rb];
                     if qb == usize::MAX {
                         continue;
                     }
@@ -118,19 +158,20 @@ impl DiagPlusLowRank {
         }
         // The Schur complement is PSD in exact arithmetic; with extreme
         // barrier weights it can lose definiteness to round-off. Retry with
-        // an escalating ridge before giving up.
-        let chol = {
+        // an escalating ridge before giving up. The factorization works on
+        // `ws.l`, re-copied from the untouched `ws.s` per attempt.
+        {
             let mut ridge = 0.0f64;
-            let base: f64 = (0..q).map(|i| s.get(i, i)).fold(1e-300, f64::max);
+            let base: f64 = (0..q).map(|i| ws.s.get(i, i)).fold(1e-300, f64::max);
             loop {
-                let mut sr = s.clone();
+                ws.l.copy_values_from(&ws.s);
                 if ridge > 0.0 {
                     for i in 0..q {
-                        sr.add(i, i, ridge);
+                        ws.l.add(i, i, ridge);
                     }
                 }
-                match sr.cholesky() {
-                    Ok(c) => break c,
+                match ws.l.cholesky_in_place() {
+                    Ok(()) => break,
                     Err(_) if ridge < base * 1e-2 => {
                         ridge = if ridge == 0.0 { base * 1e-12 } else { ridge * 100.0 };
                     }
@@ -141,20 +182,65 @@ impl DiagPlusLowRank {
                     }
                 }
             }
-        };
+        }
 
-        // t = U z restricted to active rows.
-        let uz = self.u.mul_vec(&z);
-        let t_active: Vec<f64> = active.iter().map(|&i| uz[i]).collect();
-        let w_active = chol.solve(&t_active);
+        // t = U z restricted to active rows, solved against the factor.
+        ws.uz.resize(p, 0.0);
+        self.u.mul_vec_into(&ws.z, &mut ws.uz);
+        ws.wq.clear();
+        ws.wq.extend(ws.active.iter().map(|&i| ws.uz[i]));
+        ws.l.chol_solve_in_place(&mut ws.wq);
         // Scatter back to full p.
-        let mut w = vec![0.0; p];
-        for (qi, &i) in active.iter().enumerate() {
-            w[i] = w_active[qi];
+        ws.w.clear();
+        ws.w.resize(p, 0.0);
+        for (qi, &i) in ws.active.iter().enumerate() {
+            ws.w[i] = ws.wq[qi];
         }
         // dx = z − D⁻¹ Uᵀ w.
-        let utw = self.u.mul_transpose_vec(&w);
-        Ok((0..n).map(|k| z[k] - utw[k] / d[k]).collect())
+        ws.utw.resize(n, 0.0);
+        self.u.mul_transpose_vec_into(&ws.w, &mut ws.utw);
+        for k in 0..n {
+            dx[k] = ws.z[k] - ws.utw[k] / d[k];
+        }
+        Ok(())
+    }
+}
+
+/// Reusable scratch for [`DiagPlusLowRank::solve_into`]: active-row
+/// bookkeeping, the Gram accumulation matrix `S`, and the dense Cholesky
+/// factor storage. Create once (per solver or per horizon) and reuse across
+/// Newton steps *and* across successive solves — the buffers keep their
+/// capacity, so steady-state solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DiagPlusLowRankWorkspace {
+    active: Vec<usize>,
+    row_of: Vec<usize>,
+    z: Vec<f64>,
+    s: DenseMatrix,
+    l: DenseMatrix,
+    uz: Vec<f64>,
+    wq: Vec<f64>,
+    w: Vec<f64>,
+    utw: Vec<f64>,
+}
+
+impl DiagPlusLowRankWorkspace {
+    /// A workspace pre-sized for `solver` (all rows active), so even the
+    /// first solve performs no further allocation.
+    pub fn for_solver(solver: &DiagPlusLowRank) -> Self {
+        let n = solver.dim();
+        let p = solver.rank();
+        DiagPlusLowRankWorkspace {
+            active: Vec::with_capacity(p),
+            row_of: vec![usize::MAX; p],
+            z: vec![0.0; n],
+            s: DenseMatrix::zeros(p, p),
+            l: DenseMatrix::zeros(p, p),
+            uz: vec![0.0; p],
+            wq: Vec::with_capacity(p),
+            w: vec![0.0; p],
+            utw: vec![0.0; n],
+        }
     }
 }
 
@@ -220,6 +306,46 @@ mod tests {
         }
         // Variable 0 sees only D.
         assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_solves() {
+        let mut t = Triplets::new(3, 5);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 2, 2.0);
+        t.push(1, 3, -1.0);
+        t.push(2, 0, 0.5);
+        t.push(2, 4, 1.5);
+        let solver = DiagPlusLowRank::new(t.to_csc());
+        let mut ws = DiagPlusLowRankWorkspace::for_solver(&solver);
+        let mut dx = vec![0.0; 5];
+        // Successive solves with different data (including a change of the
+        // active set) through the same workspace must match the one-shot API.
+        let cases: [(&[f64], &[f64], &[f64]); 3] = [
+            (
+                &[1.0, 2.0, 3.0, 4.0, 5.0],
+                &[2.0, 0.5, 1.0],
+                &[1.0, -1.0, 2.0, 0.0, 3.0],
+            ),
+            (
+                &[2.0, 1.0, 1.0, 2.0, 1.0],
+                &[0.0, 1.5, 2.0],
+                &[0.5, 0.5, -1.0, 1.0, 0.0],
+            ),
+            (
+                &[1.0, 1.0, 1.0, 1.0, 1.0],
+                &[0.0, 0.0, 0.0],
+                &[1.0, 2.0, 3.0, 4.0, 5.0],
+            ),
+        ];
+        for (d, e, r) in cases {
+            solver.solve_into(d, e, r, &mut ws, &mut dx).unwrap();
+            let fresh = solver.solve(d, e, r).unwrap();
+            for k in 0..5 {
+                assert!((dx[k] - fresh[k]).abs() < 1e-14, "{dx:?} vs {fresh:?}");
+            }
+        }
     }
 
     #[test]

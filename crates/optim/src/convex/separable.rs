@@ -139,6 +139,38 @@ impl SeparableObjective {
         self.groups.push(GroupTerm { members, term });
     }
 
+    /// Number of scalar terms currently attached to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n`.
+    pub fn num_terms(&self, var: usize) -> usize {
+        self.terms[var].len()
+    }
+
+    /// Overwrites the `idx`-th scalar term on `var` in place — the value
+    /// refresh of a persistent solve workspace, where the *shape* of the
+    /// objective (which terms exist) is fixed and only coefficients change
+    /// between solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` or `idx` is out of range.
+    pub fn set_term(&mut self, var: usize, idx: usize, term: ScalarTerm) {
+        self.terms[var][idx] = term;
+    }
+
+    /// Overwrites group `g`'s scalar function in place (members are fixed:
+    /// changing the membership would desync any coupling matrix built from
+    /// this objective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn set_group_term(&mut self, g: usize, term: ScalarTerm) {
+        self.groups[g].term = term;
+    }
+
     /// Objective value at `x`.
     ///
     /// # Panics
@@ -206,13 +238,22 @@ impl SeparableObjective {
 
     /// Curvatures `φ''_g(Σ x)` of the group terms at `x`.
     pub fn group_curvatures(&self, x: &[f64]) -> Vec<f64> {
-        self.groups
-            .iter()
-            .map(|g| {
-                let s: f64 = g.members.iter().map(|&k| x[k]).sum();
-                g.term.deriv2(s)
-            })
-            .collect()
+        let mut h = vec![0.0; self.groups.len()];
+        self.group_curvatures_into(x, &mut h);
+        h
+    }
+
+    /// Curvatures `φ''_g(Σ x)` of the group terms at `x`, written into `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len()` does not match the number of groups.
+    pub fn group_curvatures_into(&self, x: &[f64], h: &mut [f64]) {
+        assert_eq!(h.len(), self.groups.len(), "dimension mismatch");
+        for (hg, g) in h.iter_mut().zip(&self.groups) {
+            let s: f64 = g.members.iter().map(|&k| x[k]).sum();
+            *hg = g.term.deriv2(s);
+        }
     }
 }
 

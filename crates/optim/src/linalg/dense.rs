@@ -22,7 +22,7 @@ use crate::{Error, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseMatrix {
     nrows: usize,
     ncols: usize,
@@ -125,6 +125,26 @@ impl DenseMatrix {
         y
     }
 
+    /// Reshapes to `nrows × ncols` and zeroes every entry, reusing the
+    /// existing storage when its capacity suffices. The workhorse of the
+    /// allocation-free Schur-complement path: after the first Newton step
+    /// sized a scratch matrix, subsequent steps reshape for free.
+    pub fn resize_reset(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, 0.0);
+    }
+
+    /// Copies another matrix's values into this one, reshaping as needed
+    /// (storage is reused when capacity suffices).
+    pub fn copy_values_from(&mut self, other: &DenseMatrix) {
+        self.nrows = other.nrows;
+        self.ncols = other.ncols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// In-place Cholesky factorization `A = L Lᵀ` of a symmetric positive
     /// definite matrix (only the lower triangle is read).
     ///
@@ -133,16 +153,31 @@ impl DenseMatrix {
     /// Returns [`Error::Numerical`] if a non-positive pivot is encountered
     /// (the matrix is not positive definite to working precision).
     pub fn cholesky(&self) -> Result<DenseCholesky> {
+        let mut l = self.clone();
+        l.cholesky_in_place()?;
+        Ok(DenseCholesky { l })
+    }
+
+    /// Factorizes `self = L Lᵀ` in place, leaving `L` in the lower triangle
+    /// (strict upper triangle zeroed). Allocation-free counterpart of
+    /// [`DenseMatrix::cholesky`]; solve against the factor with
+    /// [`DenseMatrix::chol_solve_in_place`]. On error the contents are
+    /// partially overwritten and must be rebuilt before retrying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] on a non-positive pivot and
+    /// [`Error::Dimension`] for a non-square matrix.
+    pub fn cholesky_in_place(&mut self) -> Result<()> {
         if self.nrows != self.ncols {
             return Err(Error::Dimension("cholesky requires a square matrix".into()));
         }
         let n = self.nrows;
-        let mut l = self.clone();
         for j in 0..n {
             // d = A[j,j] - sum_k L[j,k]^2
-            let mut d = l.get(j, j);
+            let mut d = self.get(j, j);
             for k in 0..j {
-                let ljk = l.get(j, k);
+                let ljk = self.get(j, k);
                 d -= ljk * ljk;
             }
             if d <= 0.0 || !d.is_finite() {
@@ -151,22 +186,51 @@ impl DenseMatrix {
                 )));
             }
             let dj = d.sqrt();
-            l.set(j, j, dj);
+            self.set(j, j, dj);
             for i in (j + 1)..n {
-                let mut s = l.get(i, j);
+                let mut s = self.get(i, j);
                 for k in 0..j {
-                    s -= l.get(i, k) * l.get(j, k);
+                    s -= self.get(i, k) * self.get(j, k);
                 }
-                l.set(i, j, s / dj);
+                self.set(i, j, s / dj);
             }
         }
         // Zero the strict upper triangle for cleanliness.
         for j in 0..n {
             for i in 0..j {
-                l.set(i, j, 0.0);
+                self.set(i, j, 0.0);
             }
         }
-        Ok(DenseCholesky { l })
+        Ok(())
+    }
+
+    /// Solves `L Lᵀ x = b` in place, treating `self` as the lower-triangular
+    /// factor produced by [`DenseMatrix::cholesky_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the factor dimension.
+    pub fn chol_solve_in_place(&self, x: &mut [f64]) {
+        let n = self.nrows;
+        assert_eq!(x.len(), n, "dimension mismatch in chol_solve_in_place");
+        // Forward: L y = b
+        for j in 0..n {
+            x[j] /= self.get(j, j);
+            let xj = x[j];
+            let col = self.column(j);
+            for i in (j + 1)..n {
+                x[i] -= col[i] * xj;
+            }
+        }
+        // Backward: Lᵀ x = y
+        for j in (0..n).rev() {
+            let col = self.column(j);
+            let mut s = x[j];
+            for i in (j + 1)..n {
+                s -= col[i] * x[i];
+            }
+            x[j] = s / col[j];
+        }
     }
 
     /// LU factorization with partial pivoting, `P A = L U`.
@@ -234,27 +298,8 @@ impl DenseCholesky {
     ///
     /// Panics if `b.len()` does not match the factor dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.nrows();
-        assert_eq!(b.len(), n, "dimension mismatch in solve");
         let mut x = b.to_vec();
-        // Forward: L y = b
-        for j in 0..n {
-            x[j] /= self.l.get(j, j);
-            let xj = x[j];
-            let col = self.l.column(j);
-            for i in (j + 1)..n {
-                x[i] -= col[i] * xj;
-            }
-        }
-        // Backward: Lᵀ x = y
-        for j in (0..n).rev() {
-            let col = self.l.column(j);
-            let mut s = x[j];
-            for i in (j + 1)..n {
-                s -= col[i] * x[i];
-            }
-            x[j] = s / col[j];
-        }
+        self.l.chol_solve_in_place(&mut x);
         x
     }
 
@@ -343,6 +388,33 @@ mod tests {
     fn lu_rejects_singular() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn in_place_cholesky_matches_cloning_api() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let mut l = DenseMatrix::zeros(1, 1);
+        l.copy_values_from(&a);
+        l.cholesky_in_place().unwrap();
+        assert_eq!(&l, a.cholesky().unwrap().factor());
+        let b = [6.0, 8.0, 4.0];
+        let mut x = b.to_vec();
+        l.chol_solve_in_place(&mut x);
+        let ax = a.mul_vec(&x);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn resize_reset_reuses_storage_and_zeroes() {
+        let mut m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.resize_reset(2, 2);
+        assert_eq!(m, DenseMatrix::zeros(2, 2));
+        m.set(1, 1, 7.0);
+        m.resize_reset(1, 1);
+        assert_eq!(m.nrows(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
     }
 
     #[test]

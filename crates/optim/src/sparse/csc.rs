@@ -191,8 +191,19 @@ impl CscMatrix {
     ///
     /// Panics if `x.len() != nrows`.
     pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.nrows, "dimension mismatch in mul_transpose_vec");
         let mut y = vec![0.0; self.ncols];
+        self.mul_transpose_vec_into(x, &mut y);
+        y
+    }
+
+    /// `y = Aᵀ x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_transpose_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "dimension mismatch in mul_transpose_vec");
+        assert_eq!(y.len(), self.ncols, "dimension mismatch in mul_transpose_vec");
         for c in 0..self.ncols {
             let mut acc = 0.0;
             for p in self.colptr[c]..self.colptr[c + 1] {
@@ -200,7 +211,6 @@ impl CscMatrix {
             }
             y[c] = acc;
         }
-        y
     }
 
     /// The transpose as a new CSC matrix.

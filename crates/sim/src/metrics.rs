@@ -58,6 +58,22 @@ pub fn improvement(ours: f64, baseline: f64) -> f64 {
     (baseline - ours) / baseline
 }
 
+/// The `p`-th percentile (`0 ≤ p ≤ 100`) of `values` by linear
+/// interpolation between closest ranks; NaN for an empty slice. Used by
+/// the profiling binaries for per-slot latency p50/p95.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +93,17 @@ mod tests {
         s.push_from(1.0, &[5.0]);
         assert_eq!(s.min_mean(), 1.0);
         assert_eq!(s.max_mean(), 5.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 95.0) - 3.85).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
     }
 
     #[test]

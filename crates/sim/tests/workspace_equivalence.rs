@@ -1,0 +1,79 @@
+//! Integration tests for the persistent-workspace online solve path:
+//! [`OnlineRegularized`] with cross-slot solver reuse must produce the same
+//! trajectories as the fresh-build-per-slot path over a *full* taxi
+//! scenario — including when fault injection forces the degradation ladder
+//! through sanitization, retries, and LP fallbacks with a cached workspace
+//! in play.
+
+use edgealloc::prelude::*;
+use sim::runner::build_instance;
+use sim::scenario::{MobilityKind, Scenario};
+use sim::{FaultKind, FaultPlan};
+
+/// A taxi-mobility scenario sized like a (small) paper experiment.
+fn taxi_scenario(faults: FaultPlan) -> Scenario {
+    Scenario {
+        name: "workspace-equivalence".into(),
+        mobility: MobilityKind::Taxi { num_users: 12 },
+        num_slots: 10,
+        repetitions: 1,
+        seed: 7,
+        faults,
+        ..Scenario::default()
+    }
+}
+
+/// Runs one algorithm over `inst` and returns (total cost, health summary).
+fn run(inst: &Instance, alg: &mut OnlineRegularized) -> (f64, HealthSummary) {
+    let traj = run_online(inst, alg).expect("horizon");
+    // Faulted instances can carry non-finite prices; evaluate on the
+    // sanitized copy exactly like `sim::runner` does.
+    let (eval, _) = inst.sanitized();
+    (
+        evaluate_trajectory(&eval, &traj.allocations).total(),
+        traj.health_summary(),
+    )
+}
+
+fn assert_equivalent(inst: &Instance) {
+    let (cost_ws, health_ws) = run(inst, &mut OnlineRegularized::with_defaults());
+    let (cost_fresh, health_fresh) = run(
+        inst,
+        &mut OnlineRegularized::with_defaults().without_workspace_reuse(),
+    );
+    let rel = (cost_ws - cost_fresh).abs() / cost_fresh.abs().max(1e-12);
+    assert!(
+        rel <= 1e-6,
+        "workspace {cost_ws} vs fresh {cost_fresh} (relative {rel:.3e})"
+    );
+    // Both paths must walk the same degradation-ladder rungs: caching the
+    // workspace must not change *which* slots degrade.
+    assert_eq!(health_ws.rungs, health_fresh.rungs);
+    assert_eq!(health_ws.degraded_slots, health_fresh.degraded_slots);
+}
+
+#[test]
+fn workspace_path_matches_fresh_path_on_clean_taxi_scenario() {
+    let inst = build_instance(&taxi_scenario(FaultPlan::none()), 0).expect("instance");
+    assert_equivalent(&inst);
+}
+
+#[test]
+fn workspace_path_matches_fresh_path_under_fault_injection() {
+    // Price corruption mid-horizon plus a dead cloud: sanitization rewrites
+    // slot inputs and the ladder may leave the primary rung — all with the
+    // cached workspace carrying across the disruption.
+    let plan = FaultPlan {
+        faults: vec![
+            FaultKind::PriceNan { slot: 3, cloud: 1 },
+            FaultKind::PriceSpike {
+                slot: 5,
+                cloud: 0,
+                value: 1e9,
+            },
+            FaultKind::ZeroCapacity { cloud: 2 },
+        ],
+    };
+    let inst = build_instance(&taxi_scenario(plan), 0).expect("instance");
+    assert_equivalent(&inst);
+}

@@ -7,19 +7,26 @@
 //!
 //! - structs with named fields,
 //! - enums whose variants are unit or struct-like (externally tagged:
-//!   `"Variant"` for unit, `{"Variant": {fields…}}` for struct variants).
+//!   `"Variant"` for unit, `{"Variant": {fields…}}` for struct variants),
+//! - the `#[serde(default)]` field attribute: a field absent from the
+//!   serialized map deserializes to `Default::default()` (the schema-
+//!   evolution escape hatch for records written before a field existed).
 //!
-//! Tuple structs, tuple variants, and generic types produce a
-//! `compile_error!` naming the unsupported shape.
+//! Tuple structs, tuple variants, generic types, and any other `#[serde]`
+//! attribute produce a `compile_error!` naming the unsupported shape.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A variant's fields: `None` for a unit variant, `Some(names)` for a
+/// A named field and whether `#[serde(default)]` makes it optional on
+/// deserialization.
+type Field = (String, bool);
+
+/// A variant's fields: `None` for a unit variant, `Some(fields)` for a
 /// struct-like variant.
-type Variant = (String, Option<Vec<String>>);
+type Variant = (String, Option<Vec<Field>>);
 
 enum Shape {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
 }
 
@@ -28,12 +35,12 @@ struct Item {
     shape: Shape,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -113,13 +120,70 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     Ok(Item { name, shape })
 }
 
+/// Consumes a field's leading attributes and visibility like
+/// [`skip_attrs_and_vis`], but inspects `#[serde(...)]` attributes:
+/// returns whether `#[serde(default)]` was present, and errors on any
+/// other `serde` attribute (silently ignoring `rename`, `skip`, … would
+/// change the wire format behind the caller's back).
+fn take_field_attrs(iter: &mut PeekIter, ctx: &str) -> Result<bool, String> {
+    let mut has_default = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    has_default |= serde_default_attr(g.stream(), ctx)?;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return Ok(has_default),
+        }
+    }
+}
+
+/// Whether a `#[...]` attribute body is `serde(default)`. Non-`serde`
+/// attributes answer `false`; a `serde(...)` attribute with any content
+/// other than `default` is an error.
+fn serde_default_attr(stream: TokenStream, ctx: &str) -> Result<bool, String> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    let args = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Ok(false),
+    };
+    let mut has_default = false;
+    for t in args {
+        match &t {
+            TokenTree::Ident(id) if id.to_string() == "default" => has_default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "serde stand-in derive supports only `#[serde(default)]`, \
+                     found `{other}` in `{ctx}`"
+                ))
+            }
+        }
+    }
+    Ok(has_default)
+}
+
 /// Parses `name: Type, ...` out of a brace-group body, skipping the type
 /// tokens (angle-bracket depth tracked so `Vec<(A, B)>` commas don't split).
-fn parse_fields(stream: TokenStream, ctx: &str) -> Result<Vec<String>, String> {
+fn parse_fields(stream: TokenStream, ctx: &str) -> Result<Vec<Field>, String> {
     let mut iter = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut iter);
+        let has_default = take_field_attrs(&mut iter, ctx)?;
         let field = match iter.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -133,7 +197,7 @@ fn parse_fields(stream: TokenStream, ctx: &str) -> Result<Vec<String>, String> {
                 ))
             }
         }
-        fields.push(field);
+        fields.push((field, has_default));
         let mut depth = 0i32;
         loop {
             match iter.next() {
@@ -193,10 +257,10 @@ fn parse_variants(stream: TokenStream, ctx: &str) -> Result<Vec<Variant>, String
 }
 
 /// `("field".to_string(), serde::Serialize::to_content(<expr>))` entries.
-fn map_entries(fields: &[String], expr_of: impl Fn(&str) -> String) -> String {
+fn map_entries(fields: &[Field], expr_of: impl Fn(&str) -> String) -> String {
     fields
         .iter()
-        .map(|f| {
+        .map(|(f, _)| {
             format!(
                 "(::std::string::String::from({f:?}), serde::Serialize::to_content({})),",
                 expr_of(f)
@@ -221,7 +285,11 @@ fn gen_serialize(item: &Item) -> String {
                          serde::Content::Str(::std::string::String::from({variant:?})),"
                     ),
                     Some(fields) => {
-                        let pat = fields.join(", ");
+                        let pat = fields
+                            .iter()
+                            .map(|(f, _)| f.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries = map_entries(fields, |f| f.to_string());
                         format!(
                             "{name}::{variant} {{ {pat} }} => serde::Content::Map(::std::vec![(\
@@ -243,10 +311,23 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 /// `field: serde::Deserialize::from_content(serde::field(m, "field")?)?,`
-fn field_inits(fields: &[String]) -> String {
+/// — or, for `#[serde(default)]` fields, a match that falls back to
+/// `Default::default()` when the field is missing from the map.
+fn field_inits(fields: &[Field]) -> String {
     fields
         .iter()
-        .map(|f| format!("{f}: serde::Deserialize::from_content(serde::field(m, {f:?})?)?,"))
+        .map(|(f, has_default)| {
+            if *has_default {
+                format!(
+                    "{f}: match serde::field(m, {f:?}) {{\
+                       ::std::result::Result::Ok(v) => serde::Deserialize::from_content(v)?,\
+                       ::std::result::Result::Err(_) => ::std::default::Default::default(),\
+                     }},"
+                )
+            } else {
+                format!("{f}: serde::Deserialize::from_content(serde::field(m, {f:?})?)?,")
+            }
+        })
         .collect()
 }
 
