@@ -7,7 +7,7 @@
 //! Expected shape: atomistic ≫ holistic; online-approx ≈ 1.1 and up to
 //! ~60% below online-greedy.
 
-use bench::{maybe_write, parallel_map, Flags};
+use bench::{checkpointed_map, deadline_tag, maybe_write, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -19,6 +19,8 @@ fn main() {
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
     let threads = flags.usize("threads", bench::default_threads());
+    let deadline = flags.opt_f64("slot-deadline-ms");
+    let resume = flags.str("resume");
 
     let roster = vec![
         AlgorithmKind::PerfOpt,
@@ -34,7 +36,11 @@ fn main() {
 
     // Six hourly test cases: 3pm–8pm, fanned across worker threads.
     let cases: Vec<(usize, usize)> = (15..21).enumerate().collect();
-    let outcomes = parallel_map(&cases, threads, |&(case, hour)| {
+    let label = format!(
+        "fig2-u{users}-s{slots}-r{reps}-seed{seed}-dl{}",
+        deadline_tag(deadline)
+    );
+    let outcomes = checkpointed_map(&label, &cases, threads, resume, |&(case, hour)| {
         let scenario = Scenario {
             name: format!("fig2-hour-{hour}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -42,6 +48,7 @@ fn main() {
             algorithms: roster.clone(),
             repetitions: reps,
             seed: seed + 1000 * case as u64,
+            slot_deadline_ms: deadline,
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);

@@ -4,7 +4,7 @@
 //! Expected shape: online-approx stays near-optimal (≈1.1, slightly better
 //! under uniform workloads) with up to ~70% improvement over greedy.
 
-use bench::{maybe_write, parallel_map, Flags};
+use bench::{checkpointed_map, deadline_tag, maybe_write, Flags};
 use mobility::workload::WorkloadDist;
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
@@ -17,6 +17,8 @@ fn main() {
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
     let threads = flags.usize("threads", bench::default_threads());
+    let deadline = flags.opt_f64("slot-deadline-ms");
+    let resume = flags.str("resume");
 
     let roster = vec![
         AlgorithmKind::PerfOpt,
@@ -33,7 +35,14 @@ fn main() {
     ] {
         let mut series: Vec<Series> = roster.iter().map(|k| Series::new(k.label())).collect();
         let cases: Vec<(usize, usize)> = (15..21).enumerate().collect();
-        let outcomes = parallel_map(&cases, threads, |&(case, hour)| {
+        // Each workload gets its own checkpoint file (suffix on the
+        // --resume path) so the two sweeps never clobber one another.
+        let label = format!(
+            "fig3-{dist_name}-u{users}-s{slots}-r{reps}-seed{seed}-dl{}",
+            deadline_tag(deadline)
+        );
+        let ckpt = resume.map(|p| format!("{p}.{dist_name}"));
+        let outcomes = checkpointed_map(&label, &cases, threads, ckpt.as_deref(), |&(case, hour)| {
             let scenario = Scenario {
                 name: format!("fig3-{dist_name}-hour-{hour}"),
                 mobility: MobilityKind::Taxi { num_users: users },
@@ -42,6 +51,7 @@ fn main() {
                 algorithms: roster.clone(),
                 repetitions: reps,
                 seed: seed + 1000 * case as u64,
+                slot_deadline_ms: deadline,
                 ..Scenario::default()
             };
             eprintln!("running {} ...", scenario.name);

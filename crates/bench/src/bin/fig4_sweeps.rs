@@ -7,7 +7,7 @@
 //! optimization is optimal) and stabilizes at a reasonably good ratio for
 //! large μ.
 
-use bench::{maybe_write, parallel_map, Flags};
+use bench::{checkpointed_map, deadline_tag, maybe_write, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -19,11 +19,19 @@ fn main() {
     let reps = flags.usize("reps", 3);
     let seed = flags.u64("seed", 2017);
     let threads = flags.usize("threads", bench::default_threads());
+    let deadline = flags.opt_f64("slot-deadline-ms");
+    let resume = flags.str("resume");
     let grid: Vec<f64> = (-3..=3).map(|e| 10f64.powi(e)).collect();
+    let tag = format!(
+        "u{users}-s{slots}-r{reps}-seed{seed}-dl{}",
+        deadline_tag(deadline)
+    );
 
-    // ---- ε sweep ----
+    // ---- ε sweep ----  (its own checkpoint file: `<resume>.eps`)
     let mut eps_series = Series::new("online-approx");
-    let eps_outcomes = parallel_map(&grid, threads, |&eps| {
+    let eps_ckpt = resume.map(|p| format!("{p}.eps"));
+    let eps_label = format!("fig4-eps-{tag}");
+    let eps_outcomes = checkpointed_map(&eps_label, &grid, threads, eps_ckpt.as_deref(), |&eps| {
         let scenario = Scenario {
             name: format!("fig4-eps-{eps}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -31,6 +39,7 @@ fn main() {
             algorithms: vec![AlgorithmKind::Approx { eps }],
             repetitions: reps,
             seed,
+            slot_deadline_ms: deadline,
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);
@@ -42,9 +51,11 @@ fn main() {
     println!("Figure 4 (left) — competitive ratio vs ε (= ε₁ = ε₂)");
     println!("{}", series_table("epsilon", &[eps_series.clone()]));
 
-    // ---- μ sweep ----
+    // ---- μ sweep ----  (its own checkpoint file: `<resume>.mu`)
     let mut mu_series = Series::new("online-approx");
-    let mu_outcomes = parallel_map(&grid, threads, |&mu| {
+    let mu_ckpt = resume.map(|p| format!("{p}.mu"));
+    let mu_label = format!("fig4-mu-{tag}");
+    let mu_outcomes = checkpointed_map(&mu_label, &grid, threads, mu_ckpt.as_deref(), |&mu| {
         let scenario = Scenario {
             name: format!("fig4-mu-{mu}"),
             mobility: MobilityKind::Taxi { num_users: users },
@@ -53,6 +64,7 @@ fn main() {
             algorithms: vec![AlgorithmKind::Approx { eps: 0.5 }],
             repetitions: reps,
             seed,
+            slot_deadline_ms: deadline,
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);

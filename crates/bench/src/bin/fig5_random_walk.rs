@@ -7,7 +7,7 @@
 //! The paper sweeps 40→1000 users; the default grid here stops at 200 so
 //! the offline LP stays laptop-sized (raise with `--max-users 1000`).
 
-use bench::{maybe_write, parallel_map, Flags};
+use bench::{checkpointed_map, deadline_tag, maybe_write, Flags};
 use sim::metrics::Series;
 use sim::report::{series_json, series_table};
 use sim::scenario::{AlgorithmKind, MobilityKind, Scenario};
@@ -18,6 +18,8 @@ fn main() {
     let reps = flags.usize("reps", 2);
     let seed = flags.u64("seed", 2017);
     let threads = flags.usize("threads", bench::default_threads());
+    let deadline = flags.opt_f64("slot-deadline-ms");
+    let resume = flags.str("resume");
     let max_users = flags.usize("max-users", 200);
     let grid: Vec<usize> = [40usize, 70, 100, 140, 200, 400, 700, 1000]
         .into_iter()
@@ -26,7 +28,11 @@ fn main() {
 
     let roster = vec![AlgorithmKind::Greedy, AlgorithmKind::Approx { eps: 0.5 }];
     let mut series: Vec<Series> = roster.iter().map(|k| Series::new(k.label())).collect();
-    let outcomes = parallel_map(&grid, threads, |&users| {
+    let label = format!(
+        "fig5-maxu{max_users}-s{slots}-r{reps}-seed{seed}-dl{}",
+        deadline_tag(deadline)
+    );
+    let outcomes = checkpointed_map(&label, &grid, threads, resume, |&users| {
         let scenario = Scenario {
             name: format!("fig5-users-{users}"),
             mobility: MobilityKind::RandomWalk { num_users: users },
@@ -34,6 +40,7 @@ fn main() {
             algorithms: roster.clone(),
             repetitions: reps,
             seed,
+            slot_deadline_ms: deadline,
             ..Scenario::default()
         };
         eprintln!("running {} ...", scenario.name);

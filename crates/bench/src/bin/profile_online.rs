@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! profile_online [--users N] [--slots N] [--seed N] [--json PATH]
+//!                [--slot-deadline-ms MS]
 //! ```
 //!
 //! The text report prints one line per algorithm; `--json` additionally
@@ -47,6 +48,7 @@ fn main() {
     let users = flags.usize("users", 30);
     let slots = flags.usize("slots", 24);
     let seed = flags.u64("seed", 1);
+    let deadline = flags.opt_f64("slot-deadline-ms");
 
     let net = mobility::rome_metro();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -59,7 +61,10 @@ fn main() {
     let inst = Instance::synthetic(&net, mob, &mut rng);
 
     let roster: Vec<(&str, Box<dyn OnlineAlgorithm>)> = vec![
-        ("approx", Box::new(OnlineRegularized::with_defaults())),
+        (
+            "approx",
+            Box::new(OnlineRegularized::with_defaults().with_slot_deadline_ms(deadline)),
+        ),
         ("greedy", Box::new(OnlineGreedy::new())),
         ("stat-opt", Box::new(StatOpt::new())),
         ("perf-opt", Box::new(PerfOpt::new())),

@@ -5,21 +5,35 @@
 //! flags:
 //!
 //! ```text
-//! --users N     number of users (default per figure)
-//! --slots N     number of time slots (default per figure)
-//! --reps N      repetitions per point (default 5, as in the paper)
-//! --seed N      base RNG seed
-//! --threads N   sweep points solved concurrently (default: all cores)
-//! --json PATH   also write the raw series as JSON
+//! --users N              number of users (default per figure)
+//! --slots N              number of time slots (default per figure)
+//! --reps N               repetitions per point (default 5, as in the paper)
+//! --seed N               base RNG seed
+//! --threads N            sweep points solved concurrently (default: all cores)
+//! --json PATH            also write the raw series as JSON
+//! --resume PATH          crash-safe sweep checkpoint (created if absent,
+//!                        completed points skipped if present)
+//! --slot-deadline-ms MS  per-slot wall-clock budget for the online solves
 //! ```
 //!
 //! Sweep points are independent scenarios (each seeds its own RNG), so the
 //! figure binaries fan them out with [`parallel_map`]; results are
-//! identical to a sequential sweep, point order included.
+//! identical to a sequential sweep, point order included. With `--resume`
+//! the fan-out goes through [`checkpointed_map`], which appends each
+//! completed point to an fsync'd JSONL checkpoint (full-file atomic
+//! rewrite: tmp file + rename), so a killed sweep restarts where it left
+//! off and reproduces the uninterrupted output bit for bit. (Checkpointed
+//! points always replay exactly; a point *re-run* under a wall-clock
+//! deadline can differ, since where the deadline fires is
+//! timing-dependent.)
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
 
 /// Parsed command-line flags (`--key value` pairs only).
 #[derive(Debug, Clone, Default)]
@@ -82,6 +96,26 @@ impl Flags {
             .unwrap_or(default)
     }
 
+    /// An `f64` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.opt_f64(key).unwrap_or(default)
+    }
+
+    /// An optional `f64` flag (`None` when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn opt_f64(&self, key: &str) -> Option<f64> {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+    }
+
     /// An optional string flag.
     pub fn str(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
@@ -98,30 +132,46 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Renders a panic payload into a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Maps `f` over `items` on up to `threads` scoped worker threads, pulling
 /// work from a shared atomic queue (long points don't straggle behind a
-/// static partition). Results come back in input order, so a parallel
-/// sweep emits exactly the series a sequential one would.
+/// static partition), and *isolates* each point: a panic inside `f` is
+/// caught and returned as that point's `Err` while the other workers keep
+/// draining the queue. Results come back in input order.
 ///
 /// With `threads <= 1` (or a single item) the map runs inline on the
-/// calling thread.
-///
-/// # Panics
-///
-/// A panic in `f` propagates to the caller once the scope joins — the
-/// figure binaries treat a failed sweep point as fatal anyway.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// calling thread — with the same per-point isolation.
+pub fn try_parallel_map<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let run_one = |item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| format!("panicked: {}", panic_message(payload)))
+    };
     let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let cells: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Mutex<Option<Result<R, String>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -129,7 +179,7 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = run_one(&items[i]);
                 *cells[i].lock().expect("result cell poisoned") = Some(r);
             });
         }
@@ -144,20 +194,244 @@ where
         .collect()
 }
 
-/// Writes `content` to `path` if `path` is `Some`, creating parent
-/// directories; logs the destination.
+/// [`try_parallel_map`] for sweeps where a failed point is fatal: the whole
+/// sweep still drains (so the failure report covers every point), then the
+/// first failure panics with its point index and message.
 ///
 /// # Panics
 ///
-/// Panics on I/O failure (acceptable in an experiment binary).
+/// Panics when any `f` invocation panicked.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("sweep point {i} failed: {e}")))
+        .collect()
+}
+
+/// Writes `content` to `path` atomically: parent directories are created,
+/// the bytes go to a sibling `.tmp` file which is fsync'd and then renamed
+/// over `path`, so a crash at any moment leaves either the old file or the
+/// new one — never a torn half-write. The parent directory is fsync'd
+/// best-effort to persist the rename itself.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (create, write, sync, or rename).
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut fh = std::fs::File::create(&tmp)?;
+        fh.write_all(content.as_bytes())?;
+        fh.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = parent {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes `content` to `path` if `path` is `Some`, atomically (see
+/// [`write_atomic`]); logs the destination. On I/O failure the process
+/// exits with a message naming the path — no panic backtrace, the sweep
+/// data printed so far is still on stdout.
 pub fn maybe_write(path: Option<&str>, content: &str) {
     if let Some(p) = path {
-        if let Some(parent) = std::path::Path::new(p).parent() {
-            std::fs::create_dir_all(parent).expect("create output directory");
+        if let Err(err) = write_atomic(Path::new(p), content) {
+            eprintln!("error: failed to write {p}: {err}");
+            std::process::exit(1);
         }
-        std::fs::write(p, content).expect("write output file");
         eprintln!("wrote {p}");
     }
+}
+
+/// Stable tag for an optional per-slot deadline, used in sweep labels so a
+/// checkpoint written with one deadline is not resumed under another.
+pub fn deadline_tag(ms: Option<f64>) -> String {
+    ms.map_or_else(|| "none".to_string(), |v| v.to_string())
+}
+
+/// First line of a sweep checkpoint: identifies the sweep and its size so a
+/// resume against the wrong figure or the wrong parameters fails loudly
+/// instead of splicing foreign points into the series.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CheckpointHeader {
+    /// Sweep label (figure name + the parameters that shape the point list).
+    sweep: String,
+    /// Number of sweep points.
+    points: usize,
+}
+
+/// Parses checkpoint text: a header line, then one `[index, result]` record
+/// line per completed point. Later records for the same index win. Empty
+/// text is a fresh (zero-point) checkpoint.
+fn parse_checkpoint<R>(text: &str, label: &str, points: usize) -> Result<Vec<Option<R>>, String>
+where
+    R: Deserialize,
+{
+    let mut done: Vec<Option<R>> = (0..points).map(|_| None).collect();
+    let mut lines = text.lines().enumerate();
+    let Some((_, header_line)) = lines.next() else {
+        return Ok(done);
+    };
+    let header: CheckpointHeader = serde_json::from_str(header_line)
+        .map_err(|e| format!("line 1: bad header: {e}"))?;
+    let expected = CheckpointHeader {
+        sweep: label.to_string(),
+        points,
+    };
+    if header != expected {
+        return Err(format!(
+            "written by sweep {:?} with {} points, but this run is {:?} with {} points \
+             — delete it or pass a different --resume path",
+            header.sweep, header.points, expected.sweep, expected.points
+        ));
+    }
+    for (lineno, line) in lines {
+        let (i, r): (usize, R) = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: bad record: {e}", lineno + 1))?;
+        if i >= points {
+            return Err(format!(
+                "line {}: point index {i} out of range for {points} points",
+                lineno + 1
+            ));
+        }
+        done[i] = Some(r);
+    }
+    Ok(done)
+}
+
+/// Renders the checkpoint for the completed subset of `done`. Records are
+/// emitted in index order, so the file a resumed sweep ends with is byte
+/// for byte the file an uninterrupted sweep would have written.
+fn render_checkpoint<R>(label: &str, done: &[Option<R>]) -> String
+where
+    R: Serialize,
+{
+    let header = CheckpointHeader {
+        sweep: label.to_string(),
+        points: done.len(),
+    };
+    let mut out = serde_json::to_string(&header).expect("serialize checkpoint header");
+    out.push('\n');
+    for (i, r) in done.iter().enumerate() {
+        if let Some(r) = r {
+            out.push_str(&serde_json::to_string(&(i, r)).expect("serialize checkpoint record"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// [`parallel_map`] with a crash-safe checkpoint. With `checkpoint = None`
+/// this *is* [`parallel_map`]. With a path, completed points are loaded
+/// from the checkpoint and skipped, pending points run through the
+/// panic-isolated map, and after every completion the checkpoint is
+/// rewritten atomically (see [`write_atomic`]) with all results so far —
+/// kill the process at any moment and a rerun with the same flags resumes
+/// where it left off and produces identical output.
+///
+/// `label` should encode the sweep identity (figure name plus the
+/// parameters that shape the point list); a checkpoint written under a
+/// different label or point count is rejected.
+///
+/// # Panics
+///
+/// Panics if any point failed (after the rest of the sweep drained —
+/// completed points are already in the checkpoint, so the rerun only
+/// retries the failures).
+///
+/// Exits the process on an unreadable, corrupt, or mismatched checkpoint,
+/// or on checkpoint write failure.
+pub fn checkpointed_map<T, R, F>(
+    label: &str,
+    items: &[T],
+    threads: usize,
+    checkpoint: Option<&str>,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Clone + Serialize + Deserialize,
+    F: Fn(&T) -> R + Sync,
+{
+    let Some(path) = checkpoint else {
+        return parallel_map(items, threads, f);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("error: failed to read checkpoint {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let done: Vec<Option<R>> = match parse_checkpoint(&text, label, items.len()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: checkpoint {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pending: Vec<usize> = (0..items.len()).filter(|&i| done[i].is_none()).collect();
+    let completed = items.len() - pending.len();
+    if completed > 0 {
+        eprintln!(
+            "resuming from {path}: {completed}/{} points already done",
+            items.len()
+        );
+    }
+    let state = Mutex::new(done);
+    let results = try_parallel_map(&pending, threads, |&i| {
+        let r = f(&items[i]);
+        // Record + rewrite under one lock so a later write can never clobber
+        // the file with a stale snapshot missing an earlier point.
+        let mut slots = state.lock().expect("checkpoint state poisoned");
+        slots[i] = Some(r.clone());
+        let content = render_checkpoint(label, &slots);
+        if let Err(err) = write_atomic(Path::new(path), &content) {
+            eprintln!("error: failed to write checkpoint {path}: {err}");
+            std::process::exit(1);
+        }
+        drop(slots);
+        r
+    });
+    let failures: Vec<String> = pending
+        .iter()
+        .zip(results)
+        .filter_map(|(&i, r)| r.err().map(|e| format!("point {i}: {e}")))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} sweep point(s) failed (completed points are checkpointed in {path}; \
+         rerun with the same flags to retry only the failures):\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    state
+        .into_inner()
+        .expect("checkpoint state poisoned")
+        .into_iter()
+        .map(|o| o.expect("every point completed or the map panicked"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,6 +474,99 @@ mod tests {
     fn parallel_map_empty_input() {
         let items: Vec<u8> = Vec::new();
         assert!(parallel_map(&items, 4, |&v| v).is_empty());
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_a_panicking_point() {
+        let items: Vec<usize> = (0..16).collect();
+        let results = try_parallel_map(&items, 4, |&v| {
+            assert!(v != 5, "boom at five");
+            v * 10
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert!(e.contains("boom at five"), "unexpected error: {e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10, "point {i} should still run");
+            }
+        }
+    }
+
+    #[test]
+    fn write_atomic_creates_parents_and_leaves_no_tmp() {
+        let dir = test_dir("write_atomic");
+        let path = dir.join("nested").join("out.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("out.json")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_mismatches() {
+        let done = vec![Some(1.5_f64), None, Some(2.5_f64)];
+        let text = render_checkpoint("fig9-u4-s2", &done);
+        let back: Vec<Option<f64>> = parse_checkpoint(&text, "fig9-u4-s2", 3).unwrap();
+        assert_eq!(back, done);
+        assert_eq!(render_checkpoint("fig9-u4-s2", &back), text);
+
+        let wrong_label = parse_checkpoint::<f64>(&text, "fig9-u8-s2", 3).unwrap_err();
+        assert!(wrong_label.contains("fig9-u4-s2"), "{wrong_label}");
+        let wrong_points = parse_checkpoint::<f64>(&text, "fig9-u4-s2", 4).unwrap_err();
+        assert!(wrong_points.contains("3 points"), "{wrong_points}");
+        let corrupt = format!("{text}not json\n");
+        let err = parse_checkpoint::<f64>(&corrupt, "fig9-u4-s2", 3).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        let empty: Vec<Option<f64>> = parse_checkpoint("", "fig9-u4-s2", 3).unwrap();
+        assert_eq!(empty, vec![None, None, None]);
+    }
+
+    #[test]
+    fn checkpointed_map_resumes_without_recomputing() {
+        let dir = test_dir("checkpointed_map");
+        let ckpt = dir.join("sweep.jsonl");
+        let ckpt = ckpt.to_str().unwrap();
+        let items: Vec<usize> = (0..6).collect();
+        let calls = AtomicUsize::new(0);
+        let f = |&v: &usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (v * v) as f64
+        };
+
+        let first = checkpointed_map("unit-sweep", &items, 3, Some(ckpt), f);
+        assert_eq!(first, vec![0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
+        assert_eq!(calls.swap(0, Ordering::Relaxed), 6);
+        let full = std::fs::read_to_string(ckpt).unwrap();
+        assert_eq!(full.lines().count(), 7, "header + one record per point");
+
+        // A finished checkpoint resumes with zero work.
+        let second = checkpointed_map("unit-sweep", &items, 3, Some(ckpt), f);
+        assert_eq!(second, first);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+
+        // Drop the last two records (a mid-sweep kill) and resume: only the
+        // missing points rerun, and the file comes back byte-identical.
+        let truncated: String = full.lines().take(5).map(|l| format!("{l}\n")).collect();
+        std::fs::write(ckpt, &truncated).unwrap();
+        let third = checkpointed_map("unit-sweep", &items, 3, Some(ckpt), f);
+        assert_eq!(third, first);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(std::fs::read_to_string(ckpt).unwrap(), full);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bench-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Crash-safety acceptance: kill a checkpointed figure sweep mid-flight,
+//! verify the surviving checkpoint is uncorrupted (whole header + whole
+//! records, nothing torn), resume it, and require the final JSON *and* the
+//! final checkpoint to be byte-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Small-but-real fig2 sweep: 6 points, ~seconds each at this size.
+const SWEEP: &[&str] = &[
+    "--users", "5", "--slots", "3", "--reps", "1", "--threads", "2", "--seed", "99",
+];
+
+fn fig2(json: &Path, ckpt: &Path) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_fig2_competitive_ratio"));
+    c.args(SWEEP)
+        .arg("--json")
+        .arg(json)
+        .arg("--resume")
+        .arg(ckpt)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    c
+}
+
+fn test_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chaos-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_output() {
+    let dir = test_dir();
+    let baseline_json = dir.join("baseline.json");
+    let baseline_ckpt = dir.join("baseline.ckpt");
+    let chaos_json = dir.join("chaos.json");
+    let chaos_ckpt = dir.join("chaos.ckpt");
+
+    // Uninterrupted reference run.
+    let status = fig2(&baseline_json, &baseline_ckpt).status().unwrap();
+    assert!(status.success(), "baseline sweep failed");
+    let want_json = std::fs::read_to_string(&baseline_json).unwrap();
+    let want_ckpt = std::fs::read_to_string(&baseline_ckpt).unwrap();
+    let total_lines = want_ckpt.lines().count();
+    assert!(total_lines > 2, "checkpoint should hold header + records");
+
+    // Chaos run: SIGKILL it once the checkpoint holds at least one record
+    // but not yet all of them.
+    let mut child = fig2(&chaos_json, &chaos_ckpt).spawn().unwrap();
+    let poll_deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let lines = std::fs::read_to_string(&chaos_ckpt)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 2 && lines < total_lines {
+            child.kill().unwrap();
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            break; // outran the kill — synthesized below
+        }
+        assert!(
+            Instant::now() < poll_deadline,
+            "chaos run made no checkpoint progress"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.wait();
+
+    // If the sweep finished before the kill landed, synthesize the
+    // mid-flight state deterministically: keep the header and first
+    // record, drop the rest and the output JSON.
+    let survived = std::fs::read_to_string(&chaos_ckpt).unwrap_or_default();
+    if survived.lines().count() >= total_lines {
+        let truncated: String = want_ckpt.lines().take(2).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&chaos_ckpt, truncated).unwrap();
+        let _ = std::fs::remove_file(&chaos_json);
+    }
+
+    // Whatever survived must be uncorrupted: the reference header and a
+    // subset of the reference's whole record lines — nothing torn, nothing
+    // foreign (checkpoint writes are atomic full-file renames).
+    let survived = std::fs::read_to_string(&chaos_ckpt).unwrap();
+    let want_lines: Vec<&str> = want_ckpt.lines().collect();
+    let mut lines = survived.lines();
+    assert_eq!(lines.next(), Some(want_lines[0]), "header corrupted");
+    for line in lines {
+        assert!(
+            want_lines[1..].contains(&line),
+            "torn or foreign checkpoint line: {line}"
+        );
+    }
+
+    // Resume with identical flags: the sweep completes and both artifacts
+    // match the uninterrupted run bit for bit.
+    let status = fig2(&chaos_json, &chaos_ckpt).status().unwrap();
+    assert!(status.success(), "resumed sweep failed");
+    assert_eq!(
+        std::fs::read_to_string(&chaos_json).unwrap(),
+        want_json,
+        "resumed JSON differs from the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&chaos_ckpt).unwrap(),
+        want_ckpt,
+        "resumed checkpoint differs from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

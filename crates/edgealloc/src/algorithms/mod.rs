@@ -194,7 +194,7 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(
                 // covering, so even a first-slot failure yields service.
                 h = alg.take_health().unwrap_or_else(SlotHealth::primary);
                 h.rung = FallbackRung::CarryForward;
-                h.final_residual = f64::NAN;
+                h.final_residual = None;
                 h.note_error(&err);
                 let mut carried = prev.clone();
                 if let Err(repair_err) = repair_capacity(&input, &mut carried) {

@@ -5,11 +5,14 @@ use crate::allocation::Allocation;
 use crate::health::{FallbackRung, SlotHealth};
 use crate::programs::p2::{self, CapacityMode, Epsilons, P2Solution, P2Workspace};
 use crate::programs::per_slot_lp::{
-    add_dynamic_terms, base_lp, solve_to_allocation_resilient, StaticTerms,
+    add_dynamic_terms, base_lp, solve_to_allocation_resilient_with, StaticTerms,
 };
 use crate::Result;
+use optim::budget::SolveBudget;
 use optim::convex::BarrierOptions;
+use optim::lp::IpmOptions;
 use optim::resilience::{self, RetryPolicy};
+use optim::Salvage;
 use std::time::Instant;
 
 /// The paper's online algorithm (§III-B): at every slot, optimally solve
@@ -45,6 +48,7 @@ pub struct OnlineRegularized {
     fallback: bool,
     workspace_reuse: bool,
     adaptive_t0: bool,
+    slot_deadline_ms: Option<f64>,
     workspace: Option<P2Workspace>,
     last_solution: Option<Vec<f64>>,
     /// Terminal barrier parameter `t` of the previous slot's accepted
@@ -68,6 +72,7 @@ impl OnlineRegularized {
             fallback: true,
             workspace_reuse: true,
             adaptive_t0: true,
+            slot_deadline_ms: None,
             workspace: None,
             last_solution: None,
             last_t_final: None,
@@ -141,6 +146,23 @@ impl OnlineRegularized {
         self
     }
 
+    /// Gives every slot a wall-clock budget of `ms` milliseconds. The
+    /// degradation ladder splits it across its rungs ([`SolveBudget::slice`]),
+    /// skips rungs once it is spent, and — when even that fails — adopts
+    /// the best strictly-feasible barrier iterate reached
+    /// ([`FallbackRung::DeadlineSalvage`], capacity-repaired), so `decide`
+    /// returns within roughly twice the deadline (budget checks are
+    /// cooperative, between iterations). `None` restores unlimited slots.
+    pub fn with_slot_deadline_ms(mut self, ms: impl Into<Option<f64>>) -> Self {
+        self.slot_deadline_ms = ms.into();
+        self
+    }
+
+    /// The per-slot wall-clock budget, if one is set.
+    pub fn slot_deadline_ms(&self) -> Option<f64> {
+        self.slot_deadline_ms
+    }
+
     /// Overrides the retry policy that escalates relaxations when the
     /// barrier fails ([`RetryPolicy::none`] disables re-solves; the per-slot
     /// LP and carry-forward rungs remain unless [`Self::without_fallback`]).
@@ -192,11 +214,18 @@ impl OnlineRegularized {
     /// ladder-free run (modulo the adaptive `t0` seeding, which moves
     /// results only within the duality-gap tolerance and can be pinned off
     /// with [`Self::without_adaptive_t0`]).
+    /// `budget` is the whole slot's remaining wall-clock allowance: each
+    /// barrier level runs under a slice of it (one share is held back for
+    /// the per-slot-LP rung when fallback is on), levels are skipped
+    /// entirely once it is spent, and any interior iterate a cut-off solve
+    /// reached is kept in `salvage` for the caller's DeadlineSalvage rung.
     fn solve_p2_ladder(
         &mut self,
         input: &SlotInput<'_>,
         prev: &Allocation,
         health: &mut SlotHealth,
+        budget: &SolveBudget,
+        salvage: &mut Option<Box<Salvage>>,
     ) -> Result<P2Solution> {
         // Taken, not read: a slot that produces no accepted barrier solve
         // must leave the *next* slot with a cold t0.
@@ -240,9 +269,22 @@ impl OnlineRegularized {
         } else {
             1
         };
+        let budgeted = !budget.is_unlimited();
+        // One extra share reserved for the per-slot-LP rung that follows a
+        // failed ladder, so the barrier levels cannot starve it.
+        let lp_share = usize::from(self.fallback);
         let mut last_err: Option<optim::Error> = None;
         for k in 0..levels {
+            if budgeted && budget.exhausted(0) {
+                // The slot budget is spent: skip the remaining levels. The
+                // caller falls through to salvage / carry-forward.
+                health.deadline_hit = true;
+                break;
+            }
             let mut opts = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+            if budgeted {
+                opts.budget = budget.slice(levels - k + lp_share);
+            }
             let start = if k == 0 { chosen } else { None };
             // Adaptive t0: a warm start sits next to the previous slot's
             // end of the central path, so begin near the barrier parameter
@@ -260,6 +302,7 @@ impl OnlineRegularized {
                 health.rung = FallbackRung::RelaxedTolerance;
             }
             health.attempts += 1;
+            let rung_clock = Instant::now();
             let first = match (&fresh, self.workspace.as_mut()) {
                 (Some(solver), _) => solver.solve(start, &opts),
                 (None, Some(ws)) => ws.solve_raw(start, &opts),
@@ -272,7 +315,9 @@ impl OnlineRegularized {
                 // adaptive t0 would be counterproductive.
                 Err(optim::Error::BadStartingPoint(_)) if k == 0 && start.is_some() => {
                     health.attempts += 1;
-                    let cold = resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+                    let mut cold =
+                        resilience::relaxed_barrier_options(&self.options, &self.policy, k);
+                    cold.budget = opts.budget;
                     match (&fresh, self.workspace.as_mut()) {
                         (Some(solver), _) => solver.solve(None, &cold),
                         (None, Some(ws)) => ws.solve_raw(None, &cold),
@@ -281,9 +326,10 @@ impl OnlineRegularized {
                 }
                 other => other,
             };
+            health.rung_ms.push(rung_clock.elapsed().as_secs_f64() * 1e3);
             match attempt {
                 Ok(sol) => {
-                    health.final_residual = sol.stats.gap;
+                    health.final_residual = Some(sol.stats.gap);
                     health.newton_steps = sol.stats.newton_steps;
                     health.outer_iterations = sol.stats.outer_iterations;
                     // Terminal t = (m+n)/gap seeds the next slot's t0.
@@ -293,19 +339,46 @@ impl OnlineRegularized {
                     return Ok(p2::solution_from_barrier(input, sol));
                 }
                 Err(err) => {
-                    if let optim::Error::MaxIterations { residual, .. } = err {
-                        health.final_residual = residual;
+                    match &err {
+                        optim::Error::MaxIterations { residual, .. } => {
+                            health.final_residual = Some(*residual);
+                        }
+                        optim::Error::DeadlineExceeded { best, .. } => {
+                            // The level's slice ran out. Keep the best
+                            // interior iterate seen so far — it is strictly
+                            // feasible and becomes the DeadlineSalvage rung
+                            // if no later rung finishes.
+                            health.deadline_hit = true;
+                            if let Some(b) = best {
+                                let keep = match salvage.as_ref() {
+                                    Some(cur) => {
+                                        !(cur.residual <= b.residual)
+                                    }
+                                    None => true,
+                                };
+                                if keep {
+                                    *salvage = Some(b.clone());
+                                }
+                            }
+                        }
+                        _ => {}
                     }
                     health.note_error(&err);
-                    if !resilience::retryable(&err) {
+                    let slice_expired = matches!(err, optim::Error::DeadlineExceeded { .. });
+                    if !slice_expired && !resilience::retryable(&err) {
                         return Err(err.into());
                     }
                     last_err = Some(err);
                 }
             }
         }
+        // `last_err` is only absent when the budget was spent before the
+        // first level even started (e.g. the workspace refresh ate it).
         Err(last_err
-            .expect("loop runs at least once and only exits Err with an error recorded")
+            .unwrap_or(optim::Error::DeadlineExceeded {
+                iterations: 0,
+                best: None,
+            })
             .into())
     }
 }
@@ -318,50 +391,112 @@ impl OnlineAlgorithm for OnlineRegularized {
     fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation> {
         let clock = Instant::now();
         let mut health = SlotHealth::primary();
-        let mut allocation = match self.solve_p2_ladder(input, prev, &mut health) {
-            Ok(sol) => {
-                self.last_solution = Some(sol.allocation.as_flat().to_vec());
-                self.last_duals = Some((sol.theta, sol.rho));
-                sol.allocation
-            }
-            Err(err) if self.fallback => {
-                // Rung 3: the entropy-free per-slot LP — the linearized
-                // slot objective, no regularizers, exact dynamic costs.
-                health.rung = FallbackRung::PerSlotLp;
-                let mut lp = base_lp(
-                    input,
-                    StaticTerms {
-                        operation: true,
-                        quality: true,
-                    },
-                );
-                add_dynamic_terms(&mut lp, input, prev);
-                let (result, report) = solve_to_allocation_resilient(&lp, input, &self.policy);
-                health.attempts += report.attempts;
-                match result {
-                    Ok(x) => {
-                        health.final_residual = report.final_residual;
-                        // The LP rung carries no ℙ₂ duals; clear the stale
-                        // ones rather than expose the wrong slot's.
-                        self.last_solution = Some(x.as_flat().to_vec());
-                        self.last_duals = None;
-                        x
+        health.deadline_ms = self.slot_deadline_ms;
+        let budget = match self.slot_deadline_ms {
+            Some(ms) => SolveBudget::from_millis(ms),
+            None => SolveBudget::unlimited(),
+        };
+        let mut salvage: Option<Box<Salvage>> = None;
+        let mut force_repair = false;
+        let mut allocation =
+            match self.solve_p2_ladder(input, prev, &mut health, &budget, &mut salvage) {
+                Ok(sol) => {
+                    self.last_solution = Some(sol.allocation.as_flat().to_vec());
+                    self.last_duals = Some((sol.theta, sol.rho));
+                    sol.allocation
+                }
+                Err(err) if self.fallback => {
+                    let mut adopted: Option<Allocation> = None;
+                    if !budget.exhausted(0) {
+                        // Rung 3: the entropy-free per-slot LP — the
+                        // linearized slot objective, no regularizers, exact
+                        // dynamic costs — under whatever slot time remains
+                        // (it is the last solver rung, so no further split).
+                        health.rung = FallbackRung::PerSlotLp;
+                        let mut lp = base_lp(
+                            input,
+                            StaticTerms {
+                                operation: true,
+                                quality: true,
+                            },
+                        );
+                        add_dynamic_terms(&mut lp, input, prev);
+                        let lp_opts = IpmOptions {
+                            budget,
+                            ..IpmOptions::default()
+                        };
+                        let rung_clock = Instant::now();
+                        let (result, report) = solve_to_allocation_resilient_with(
+                            &lp,
+                            input,
+                            &lp_opts,
+                            &self.policy,
+                        );
+                        health.attempts += report.attempts;
+                        health.rung_ms.push(rung_clock.elapsed().as_secs_f64() * 1e3);
+                        match result {
+                            Ok(x) => {
+                                health.final_residual = if report.final_residual.is_finite() {
+                                    Some(report.final_residual)
+                                } else {
+                                    None
+                                };
+                                // The LP rung carries no ℙ₂ duals; clear the
+                                // stale ones rather than expose the wrong
+                                // slot's.
+                                self.last_solution = Some(x.as_flat().to_vec());
+                                self.last_duals = None;
+                                adopted = Some(x);
+                            }
+                            Err(lp_err) => {
+                                if matches!(
+                                    lp_err,
+                                    crate::Error::Solver(optim::Error::DeadlineExceeded { .. })
+                                ) {
+                                    health.deadline_hit = true;
+                                }
+                                health.note_error(&lp_err);
+                            }
+                        }
+                    } else {
+                        health.deadline_hit = true;
                     }
-                    Err(lp_err) => {
-                        health.note_error(&lp_err);
-                        health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
-                        self.last_health = Some(health);
-                        return Err(err);
+                    match adopted {
+                        Some(x) => x,
+                        // Rung 4: the deadline salvage — the best strictly
+                        // feasible interior iterate any budgeted barrier
+                        // solve reached. It covers demand by construction;
+                        // the (forced) capacity repair below handles any
+                        // excess, making it a valid degraded decision.
+                        None => match salvage.take() {
+                            Some(s) => {
+                                health.rung = FallbackRung::DeadlineSalvage;
+                                health.deadline_hit = true;
+                                health.final_residual = if s.residual.is_finite() {
+                                    Some(s.residual)
+                                } else {
+                                    None
+                                };
+                                force_repair = true;
+                                self.last_solution = Some(s.x.clone());
+                                self.last_duals = None;
+                                Allocation::from_flat(input.num_clouds(), input.num_users(), s.x)
+                            }
+                            None => {
+                                health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                                self.last_health = Some(health);
+                                return Err(err);
+                            }
+                        },
                     }
                 }
-            }
-            Err(err) => {
-                health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
-                self.last_health = Some(health);
-                return Err(err);
-            }
-        };
-        if self.repair {
+                Err(err) => {
+                    health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+                    self.last_health = Some(health);
+                    return Err(err);
+                }
+            };
+        if self.repair || force_repair {
             // Best-effort: a structurally infeasible slot (demand above
             // total capacity) leaves a deficit, which is flagged rather
             // than failing the slot — the allocation still respects
@@ -608,7 +743,7 @@ mod tests {
             assert_eq!(h.rung, FallbackRung::Primary);
             assert!(!h.sanitized);
             assert!(h.errors.is_empty(), "{:?}", h.errors);
-            assert!(h.final_residual.is_finite());
+            assert!(h.final_residual.expect("primary slot certifies a gap").is_finite());
         }
         assert_eq!(traj.health_summary().degraded_slots, 0);
     }
@@ -652,6 +787,45 @@ mod tests {
             assert_eq!(h.rung, FallbackRung::PerSlotLp, "slot {t}: {:?}", h.rung);
         }
         assert_eq!(traj.health_summary().rungs.per_slot_lp, inst.num_slots());
+    }
+
+    #[test]
+    fn zero_deadline_skips_every_rung_and_carries_forward() {
+        // An already-spent budget must not run any solver at all: every
+        // slot drops straight to the runner's carry-forward rung, and the
+        // repair still builds a demand-covering allocation.
+        let inst = Instance::fig1_example(2.1, true);
+        let mut alg = OnlineRegularized::with_defaults().with_slot_deadline_ms(0.0);
+        let traj = run_online(&inst, &mut alg).unwrap();
+        for (t, (x, h)) in traj.allocations.iter().zip(&traj.health).enumerate() {
+            assert_eq!(h.rung, FallbackRung::CarryForward, "slot {t}");
+            assert!(h.deadline_hit, "slot {t} missed the deadline flag");
+            assert_eq!(h.deadline_ms, Some(0.0));
+            assert!(x.demand_shortfall(inst.workloads()) < 1e-6, "slot {t}");
+            assert!(x.capacity_excess(inst.system().capacities()) < 1e-6, "slot {t}");
+        }
+        assert_eq!(traj.health_summary().deadline_hits, inst.num_slots());
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_happy_path_bit_identical() {
+        // Budget checks are reads, not perturbations: with a deadline that
+        // never trips, the trajectory must match the unbudgeted run exactly
+        // and every slot must still report the clean primary rung.
+        let inst = Instance::fig1_example(2.1, true);
+        let mut plain = OnlineRegularized::with_defaults();
+        let mut budgeted = OnlineRegularized::with_defaults().with_slot_deadline_ms(10_000.0);
+        let a = run_online(&inst, &mut plain).unwrap();
+        let b = run_online(&inst, &mut budgeted).unwrap();
+        for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+            assert_eq!(xa.as_flat(), xb.as_flat(), "slot {t} diverged under budget");
+        }
+        for h in &b.health {
+            assert_eq!(h.rung, FallbackRung::Primary);
+            assert!(!h.deadline_hit);
+            assert_eq!(h.deadline_ms, Some(10_000.0));
+            assert!(!h.rung_ms.is_empty(), "per-rung timing not recorded");
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!    relaxations (see [`optim::resilience`]) succeeded.
 //! 3. [`FallbackRung::PerSlotLp`] — the entropy-free per-slot LP (the
 //!    linearized slot objective) succeeded where the barrier could not.
-//! 4. [`FallbackRung::CarryForward`] — the previous slot's allocation was
+//! 4. [`FallbackRung::DeadlineSalvage`] — the slot's wall-clock budget ran
+//!    out mid-solve and the best strictly-feasible barrier iterate reached
+//!    was adopted (capacity-repaired) as the decision.
+//! 5. [`FallbackRung::CarryForward`] — the previous slot's allocation was
 //!    carried forward and repaired with
 //!    [`crate::algorithms::repair_capacity`].
 //!
@@ -32,6 +35,9 @@ pub enum FallbackRung {
     RelaxedTolerance,
     /// The entropy-free per-slot LP converged after the barrier gave up.
     PerSlotLp,
+    /// The slot deadline expired and the best interior iterate any budgeted
+    /// solve reached was adopted (after capacity repair) as the decision.
+    DeadlineSalvage,
     /// The previous allocation was carried forward and repaired.
     CarryForward,
 }
@@ -44,11 +50,26 @@ pub struct SlotHealth {
     /// Total solve attempts across all rungs (1 = clean first solve).
     pub attempts: usize,
     /// Residual of the accepted solve: the certified duality gap for the
-    /// barrier, the maximum constraint violation for LPs, NaN when no
-    /// solver produced the allocation (carry-forward).
-    pub final_residual: f64,
+    /// barrier, the maximum constraint violation for LPs, `None` when no
+    /// solver produced the allocation (carry-forward) — serialized as JSON
+    /// `null`, which also matches how legacy records wrote their NaN
+    /// sentinel.
+    pub final_residual: Option<f64>,
     /// Wall time spent deciding the slot, in milliseconds.
     pub wall_time_ms: f64,
+    /// The wall-clock budget the slot was decided under, in milliseconds
+    /// (`None` = unlimited).
+    #[serde(default)]
+    pub deadline_ms: Option<f64>,
+    /// Whether the slot's budget expired at any point while walking the
+    /// ladder (the decision then came from a salvage or carry-forward
+    /// rung, or from a rung that ran with a reduced slice).
+    #[serde(default)]
+    pub deadline_hit: bool,
+    /// Wall time each attempted ladder rung consumed, in milliseconds,
+    /// in the order the rungs ran (skipped rungs don't appear).
+    #[serde(default)]
+    pub rung_ms: Vec<f64>,
     /// Whether [`crate::algorithms::repair_capacity`] was applied.
     pub repaired: bool,
     /// Whether the slot's inputs were sanitized (non-finite or negative
@@ -74,8 +95,11 @@ impl SlotHealth {
         SlotHealth {
             rung: FallbackRung::Primary,
             attempts: 1,
-            final_residual: f64::NAN,
+            final_residual: None,
             wall_time_ms: 0.0,
+            deadline_ms: None,
+            deadline_hit: false,
+            rung_ms: Vec::new(),
             repaired: false,
             sanitized: false,
             newton_steps: 0,
@@ -98,8 +122,15 @@ impl SlotHealth {
                 FallbackRung::Primary
             },
             attempts: report.attempts.max(1),
-            final_residual: report.final_residual,
+            final_residual: if report.final_residual.is_finite() {
+                Some(report.final_residual)
+            } else {
+                None
+            },
             wall_time_ms: report.wall_time_ms,
+            deadline_ms: None,
+            deadline_hit: false,
+            rung_ms: Vec::new(),
             repaired: false,
             sanitized: false,
             newton_steps: 0,
@@ -115,7 +146,10 @@ impl SlotHealth {
 
     /// Whether anything beyond the primary clean path happened.
     pub fn degraded(&self) -> bool {
-        self.rung != FallbackRung::Primary || self.sanitized || !self.errors.is_empty()
+        self.rung != FallbackRung::Primary
+            || self.sanitized
+            || self.deadline_hit
+            || !self.errors.is_empty()
     }
 }
 
@@ -128,6 +162,9 @@ pub struct RungCounts {
     pub relaxed_tolerance: usize,
     /// Slots decided on [`FallbackRung::PerSlotLp`].
     pub per_slot_lp: usize,
+    /// Slots decided on [`FallbackRung::DeadlineSalvage`].
+    #[serde(default)]
+    pub deadline_salvage: usize,
     /// Slots decided on [`FallbackRung::CarryForward`].
     pub carry_forward: usize,
 }
@@ -139,6 +176,7 @@ impl RungCounts {
             FallbackRung::Primary => self.primary += 1,
             FallbackRung::RelaxedTolerance => self.relaxed_tolerance += 1,
             FallbackRung::PerSlotLp => self.per_slot_lp += 1,
+            FallbackRung::DeadlineSalvage => self.deadline_salvage += 1,
             FallbackRung::CarryForward => self.carry_forward += 1,
         }
     }
@@ -148,12 +186,17 @@ impl RungCounts {
         self.primary += other.primary;
         self.relaxed_tolerance += other.relaxed_tolerance;
         self.per_slot_lp += other.per_slot_lp;
+        self.deadline_salvage += other.deadline_salvage;
         self.carry_forward += other.carry_forward;
     }
 
     /// Total slots counted.
     pub fn total(&self) -> usize {
-        self.primary + self.relaxed_tolerance + self.per_slot_lp + self.carry_forward
+        self.primary
+            + self.relaxed_tolerance
+            + self.per_slot_lp
+            + self.deadline_salvage
+            + self.carry_forward
     }
 }
 
@@ -176,6 +219,9 @@ pub struct HealthSummary {
     /// accepted barrier solve needed.
     #[serde(default)]
     pub peak_outer_iterations: usize,
+    /// Slots whose wall-clock budget expired while deciding.
+    #[serde(default)]
+    pub deadline_hits: usize,
 }
 
 impl HealthSummary {
@@ -195,6 +241,9 @@ impl HealthSummary {
             summary.rungs.record(h.rung);
             summary.newton_steps += h.newton_steps;
             summary.peak_outer_iterations = summary.peak_outer_iterations.max(h.outer_iterations);
+            if h.deadline_hit {
+                summary.deadline_hits += 1;
+            }
         }
         summary
     }
@@ -207,6 +256,7 @@ impl HealthSummary {
         self.rungs.merge(&other.rungs);
         self.newton_steps += other.newton_steps;
         self.peak_outer_iterations = self.peak_outer_iterations.max(other.peak_outer_iterations);
+        self.deadline_hits += other.deadline_hits;
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -296,6 +346,45 @@ mod tests {
         let h: SlotHealth = serde_json::from_str(legacy).unwrap();
         assert_eq!(h.newton_steps, 0);
         assert_eq!(h.outer_iterations, 0);
+        assert!(!h.deadline_hit);
+        assert_eq!(h.deadline_ms, None);
+        assert!(h.rung_ms.is_empty());
+        assert_eq!(h.final_residual, Some(0.0));
+    }
+
+    #[test]
+    fn legacy_nan_residual_serialized_as_null_reads_back_as_none() {
+        // Carry-forward slots used to write `final_residual: f64::NAN`,
+        // which serde_json emits as `null`; those records must now load as
+        // `None` rather than failing to parse.
+        let legacy = r#"{"rung":"CarryForward","attempts":2,"final_residual":null,
+            "wall_time_ms":1.5,"repaired":true,"sanitized":false,"errors":["x"]}"#;
+        let h: SlotHealth = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.final_residual, None);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(
+            json.contains(r#""final_residual":null"#),
+            "missing residual must serialize as null: {json}"
+        );
+    }
+
+    #[test]
+    fn deadline_hits_aggregate_and_merge() {
+        let mut a = SlotHealth::primary();
+        a.deadline_ms = Some(50.0);
+        a.deadline_hit = true;
+        a.rung = FallbackRung::DeadlineSalvage;
+        let mut b = SlotHealth::primary();
+        b.deadline_ms = Some(50.0);
+        let mut s = HealthSummary::from_slots(&[a.clone(), b]);
+        assert_eq!(s.deadline_hits, 1);
+        assert_eq!(s.rungs.deadline_salvage, 1);
+        assert!(a.degraded(), "a deadline hit is a degradation");
+        let other = HealthSummary::from_slots(&[a]);
+        s.merge(&other);
+        assert_eq!(s.deadline_hits, 2);
+        assert_eq!(s.rungs.deadline_salvage, 2);
+        assert_eq!(s.rungs.total(), 3);
     }
 
     #[test]

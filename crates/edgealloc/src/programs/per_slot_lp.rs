@@ -114,7 +114,20 @@ pub fn solve_to_allocation_resilient(
     input: &SlotInput<'_>,
     policy: &RetryPolicy,
 ) -> (Result<Allocation>, SolveReport) {
-    let (result, report) = solve_lp_with_retry(lp, &IpmOptions::default(), policy);
+    solve_to_allocation_resilient_with(lp, input, &IpmOptions::default(), policy)
+}
+
+/// [`solve_to_allocation_resilient`] with explicit base [`IpmOptions`] —
+/// the degradation ladder passes a remaining-slot-time
+/// [`optim::budget::SolveBudget`] through here so even the LP rung respects
+/// the slot deadline.
+pub fn solve_to_allocation_resilient_with(
+    lp: &LpProblem,
+    input: &SlotInput<'_>,
+    opts: &IpmOptions,
+    policy: &RetryPolicy,
+) -> (Result<Allocation>, SolveReport) {
+    let (result, report) = solve_lp_with_retry(lp, opts, policy);
     let n = input.num_clouds() * input.num_users();
     let allocation = result.map_err(crate::Error::from).map(|sol| {
         Allocation::from_flat(input.num_clouds(), input.num_users(), sol.x[..n].to_vec())

@@ -1,9 +1,10 @@
 //! Log-barrier path-following solver for separable convex programs.
 
+use crate::budget::SolveBudget;
 use crate::convex::{DiagPlusLowRank, DiagPlusLowRankWorkspace, SeparableObjective};
 use crate::lp::{ConstraintSense, IpmOptions, LpProblem};
 use crate::sparse::{CscMatrix, Triplets};
-use crate::{Error, Result};
+use crate::{Error, Result, Salvage};
 
 /// Options for the barrier solver.
 #[derive(Debug, Clone)]
@@ -21,6 +22,12 @@ pub struct BarrierOptions {
     pub max_newton: usize,
     /// Outer iteration limit.
     pub max_outer: usize,
+    /// Cooperative wall-clock/iteration budget, checked at the top of each
+    /// Newton step (unlimited by default — the happy path then reads no
+    /// clock). On exhaustion the solve returns
+    /// [`Error::DeadlineExceeded`] carrying the current (strictly
+    /// feasible) iterate as a salvage point.
+    pub budget: SolveBudget,
 }
 
 impl Default for BarrierOptions {
@@ -32,6 +39,7 @@ impl Default for BarrierOptions {
             inner_tol: 1e-9,
             max_newton: 200,
             max_outer: 80,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -193,12 +201,31 @@ impl BarrierSolver {
     /// Returns [`Error::Infeasible`] if no interior point exists down to the
     /// smallest margin tried.
     pub fn strictly_feasible_start(&self) -> Result<Vec<f64>> {
+        self.strictly_feasible_start_budgeted(&SolveBudget::unlimited())
+    }
+
+    /// [`BarrierSolver::strictly_feasible_start`] under a budget: the
+    /// phase-I interior-point solves inherit the deadline, so a hanging
+    /// phase I surrenders cooperatively like the main solve does.
+    ///
+    /// # Errors
+    ///
+    /// As [`BarrierSolver::strictly_feasible_start`], plus
+    /// [`Error::DeadlineExceeded`] (with nothing to salvage — no interior
+    /// point exists yet) when the budget runs out.
+    pub fn strictly_feasible_start_budgeted(&self, budget: &SolveBudget) -> Result<Vec<f64>> {
         let n = self.num_vars();
         let m = self.num_rows();
         let scale = 1.0 + self.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
         let at = self.a.transpose(); // column r of `at` = row r of A
         let mut delta = 1e-3 * scale;
         for _attempt in 0..4 {
+            if budget.exhausted(0) {
+                return Err(Error::DeadlineExceeded {
+                    iterations: 0,
+                    best: None,
+                });
+            }
             let mut lp = LpProblem::new();
             let x0 = lp.add_vars(n, 0.0);
             let t_var = lp.add_var(1.0); // minimize t
@@ -214,7 +241,16 @@ impl BarrierSolver {
             }
             let sol = lp.solve_with(&IpmOptions {
                 tol: 1e-9,
+                budget: *budget,
                 ..IpmOptions::default()
+            })
+            .map_err(|e| match e {
+                // A phase-I iterate lives in the auxiliary LP's variable
+                // space — useless to barrier callers, so don't offer it.
+                Error::DeadlineExceeded { iterations, .. } => {
+                    Error::DeadlineExceeded { iterations, best: None }
+                }
+                other => other,
             })?;
             let t_opt = sol.x[t_var];
             if t_opt < 0.5 * delta {
@@ -315,7 +351,7 @@ impl BarrierSolver {
                 ws.x.copy_from_slice(start);
             }
             None => {
-                let start = self.strictly_feasible_start()?;
+                let start = self.strictly_feasible_start_budgeted(&opts.budget)?;
                 ws.x.copy_from_slice(&start);
             }
         }
@@ -328,6 +364,9 @@ impl BarrierSolver {
         };
         let total_constraints = (m + n) as f64;
         let trace = std::env::var_os("OPTIM_TRACE").is_some();
+        // The budget check is hoisted out of the hot loop condition: an
+        // unlimited budget (the default) performs no clock reads at all.
+        let budgeted = !opts.budget.is_unlimited();
 
         for outer in 0..opts.max_outer {
             stats.outer_iterations = outer + 1;
@@ -335,6 +374,21 @@ impl BarrierSolver {
             let mut trials = 0usize;
             // ---- center at parameter t ----
             for _ in 0..opts.max_newton {
+                if budgeted && opts.budget.exhausted(stats.newton_steps) {
+                    // The current iterate is the last *accepted* point, so
+                    // it is strictly feasible; hand it back for salvage
+                    // with the gap bound of the current barrier parameter
+                    // (approximate — this point may not be fully centered).
+                    stats.gap = total_constraints / t;
+                    return Err(Error::DeadlineExceeded {
+                        iterations: stats.newton_steps,
+                        best: Some(Box::new(Salvage {
+                            x: ws.x.clone(),
+                            objective: self.objective.value(&ws.x),
+                            residual: stats.gap,
+                        })),
+                    });
+                }
                 self.slacks_into(&ws.x, &mut ws.slack);
                 self.objective.gradient_into(&ws.x, &mut ws.grad_f);
                 self.objective.hessian_diag_into(&ws.x, &mut ws.diag_f);

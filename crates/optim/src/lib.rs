@@ -20,6 +20,11 @@
 //! * [`resilience`] — retry policies that re-solve with escalating
 //!   relaxations on iteration-limit or numerical breakdown and report what
 //!   happened in a structured [`resilience::SolveReport`].
+//! * [`budget`] — cooperative wall-clock/iteration budgets
+//!   ([`budget::SolveBudget`]) checked at the top of every Newton /
+//!   predictor-corrector iteration, so a hanging solve surrenders at its
+//!   deadline with the best iterate it reached instead of stalling the
+//!   caller.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod convex;
 pub mod linalg;
 pub mod lp;
@@ -68,6 +74,38 @@ pub enum Error {
     BadStartingPoint(String),
     /// The problem description itself is invalid (NaN coefficient, …).
     InvalidInput(String),
+    /// The solve's [`budget::SolveBudget`] ran out before convergence. The
+    /// best iterate reached so far rides along (boxed — it is by far the
+    /// largest variant) so callers can salvage a feasible-enough point
+    /// instead of getting nothing; `None` when the budget expired before
+    /// any iterate existed.
+    DeadlineExceeded {
+        /// Iterations completed before the budget ran out.
+        iterations: usize,
+        /// The best iterate reached, if any.
+        best: Option<Box<Salvage>>,
+    },
+}
+
+/// The best iterate a deadline-interrupted solve reached (see
+/// [`Error::DeadlineExceeded`]).
+///
+/// For the barrier solver `x` is always **strictly feasible** (interior
+/// methods never leave the feasible region), so a salvaged point can be
+/// used as a degraded-but-valid decision; `residual` is the duality-gap
+/// bound certified at interruption. For the LP solver the iterate is
+/// generally infeasible until convergence — `residual` then reports the
+/// worst relative KKT residual and callers should treat `x` as a warm
+/// start, not a solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvage {
+    /// The iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Accuracy bound at interruption (duality gap for the barrier, worst
+    /// relative residual for the LP solver).
+    pub residual: f64,
 }
 
 impl fmt::Display for Error {
@@ -86,6 +124,14 @@ impl fmt::Display for Error {
             Error::Numerical(s) => write!(f, "numerical failure: {s}"),
             Error::BadStartingPoint(s) => write!(f, "starting point not strictly feasible: {s}"),
             Error::InvalidInput(s) => write!(f, "invalid input: {s}"),
+            Error::DeadlineExceeded { iterations, best } => write!(
+                f,
+                "solve budget exhausted after {iterations} iterations ({})",
+                match best {
+                    Some(s) => format!("best iterate salvaged, residual {:.3e}", s.residual),
+                    None => "no iterate to salvage".into(),
+                }
+            ),
         }
     }
 }

@@ -6,10 +6,11 @@
 //! `A·Aᵀ`, ordering, elimination tree) is performed once per solve and
 //! reused by every iteration's refactorization.
 
+use crate::budget::SolveBudget;
 use crate::linalg::{min_degree_ordering, LdlSymbolic};
 use crate::lp::StandardLp;
 use crate::sparse::ops::NormalEqProduct;
-use crate::{Error, Result};
+use crate::{Error, Result, Salvage};
 
 /// Options for the interior-point solver.
 #[derive(Debug, Clone)]
@@ -24,6 +25,13 @@ pub struct IpmOptions {
     pub step_scale: f64,
     /// Apply the minimum-degree ordering (disable only for experiments).
     pub use_ordering: bool,
+    /// Cooperative wall-clock/iteration budget, checked at the top of each
+    /// predictor-corrector iteration (unlimited by default — the happy
+    /// path then reads no clock). On exhaustion the solve returns
+    /// [`Error::DeadlineExceeded`]; the salvaged iterate is generally
+    /// *infeasible* (interior-point LP iterates only reach feasibility at
+    /// convergence) and should be treated as a warm start at best.
+    pub budget: SolveBudget,
 }
 
 impl Default for IpmOptions {
@@ -34,6 +42,7 @@ impl Default for IpmOptions {
             reg: 1e-10,
             step_scale: 0.9995,
             use_ordering: true,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -163,7 +172,12 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
         );
     }
     let t0 = std::time::Instant::now();
-    let perm = if opts.use_ordering {
+    // A (near-)dense A·Aᵀ — e.g. a phase-I LP whose auxiliary variable
+    // couples every row — has nothing for a fill-reducing ordering to
+    // save, and min-degree on a dense pattern costs O(m³)-ish time that
+    // dwarfs the factorization it is meant to speed up. Skip it.
+    let dense_fraction = pattern.nnz() as f64 / (0.5 * m as f64 * (m as f64 + 1.0));
+    let perm = if opts.use_ordering && dense_fraction < 0.5 {
         Some(min_degree_ordering(&pattern))
     } else {
         None
@@ -244,6 +258,8 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
 
     let mut rb = vec![0.0; m];
     let mut d = vec![0.0; n];
+    // Hoisted so an unlimited budget (the default) reads no clock at all.
+    let budgeted = !opts.budget.is_unlimited();
 
     // Best iterate seen so far (by worst relative residual), returned if the
     // iteration stalls after effectively converging.
@@ -277,6 +293,17 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
         if stats.primal_residual < opts.tol && stats.dual_residual < opts.tol && stats.gap < opts.tol
         {
             return Ok(IpmSolution { x, y, s, stats });
+        }
+        if budgeted && opts.budget.exhausted(iter) {
+            let worst = stats.primal_residual.max(stats.dual_residual).max(stats.gap);
+            return Err(Error::DeadlineExceeded {
+                iterations: iter,
+                best: Some(Box::new(Salvage {
+                    x,
+                    objective: cx,
+                    residual: worst,
+                })),
+            });
         }
 
         // Track the best iterate; detect stalls (no improvement for a while)

@@ -12,10 +12,22 @@
 //! [`Error::Dimension`], [`Error::InvalidInput`]) are *not* retried: no
 //! amount of relaxation fixes those, and the caller's degradation ladder
 //! (see the `edgealloc` crate) must take over instead.
+//!
+//! # Budgets
+//!
+//! When the caller's options carry a [`SolveBudget`] deadline, the retry
+//! drivers *split* it: attempt `k` of a chain with `K` attempts left runs
+//! under `remaining / K` of the wall-clock budget, so the first attempt can
+//! never eat the whole slot and every relaxation level still gets a shot.
+//! An attempt cut off by its slice does not abort the chain while overall
+//! time remains; when the whole budget is gone the drivers return
+//! [`Error::DeadlineExceeded`] carrying the best salvage point any attempt
+//! reached. A budget that is already exhausted on entry returns immediately
+//! with **zero** attempts made.
 
 use crate::convex::{BarrierOptions, BarrierSolution, BarrierSolver};
 use crate::lp::{IpmOptions, LpProblem, LpSolution};
-use crate::{Error, Result};
+use crate::{Error, Result, Salvage};
 use std::time::Instant;
 
 /// How aggressively to retry a failed solve.
@@ -104,7 +116,10 @@ impl SolveReport {
 /// Whether relaxing options could plausibly fix this failure. Structural
 /// verdicts (infeasible, unbounded, malformed input) are final; iteration
 /// limits, numerical breakdowns, and rejected starting points are worth
-/// another attempt with different options. Callers building their own
+/// another attempt with different options. [`Error::DeadlineExceeded`] is
+/// *not* retryable — time, not numerics, ran out, and retrying with relaxed
+/// options cannot manufacture more of it (the budget-splitting drivers in
+/// this module handle slice expiry themselves). Callers building their own
 /// degradation ladders (see the `edgealloc` crate) use this to decide
 /// whether to keep escalating or to jump straight to the next rung.
 pub fn retryable(err: &Error) -> bool {
@@ -117,7 +132,27 @@ pub fn retryable(err: &Error) -> bool {
 fn residual_of(err: &Error) -> f64 {
     match err {
         Error::MaxIterations { residual, .. } => *residual,
+        Error::DeadlineExceeded { best, .. } => best.as_ref().map_or(f64::NAN, |s| s.residual),
         _ => f64::NAN,
+    }
+}
+
+/// Keeps whichever salvage point certifies the smaller residual (an
+/// incumbent with a NaN residual always loses).
+fn better_salvage(
+    incumbent: Option<Box<Salvage>>,
+    candidate: Option<Box<Salvage>>,
+) -> Option<Box<Salvage>> {
+    match (incumbent, candidate) {
+        (Some(a), Some(b)) => {
+            if a.residual <= b.residual {
+                Some(a)
+            } else {
+                Some(b)
+            }
+        }
+        (a, None) => a,
+        (None, b) => b,
     }
 }
 
@@ -135,6 +170,7 @@ pub fn relaxed_barrier_options(base: &BarrierOptions, policy: &RetryPolicy, k: u
         inner_tol: (base.inner_tol * relax).min(1e-4),
         max_newton: ((base.max_newton as f64) * growth).ceil() as usize,
         max_outer: ((base.max_outer as f64) * growth).ceil() as usize,
+        budget: base.budget,
     }
 }
 
@@ -148,6 +184,7 @@ pub fn relaxed_ipm_options(base: &IpmOptions, policy: &RetryPolicy, k: usize) ->
         reg: base.reg * policy.reg_growth.powi(ki),
         step_scale: (base.step_scale * 0.99f64.powi(ki)).max(0.9),
         use_ordering: base.use_ordering,
+        budget: base.budget,
     }
 }
 
@@ -173,10 +210,29 @@ pub fn solve_barrier_with_retry(
     let clock = Instant::now();
     let mut report = SolveReport::start();
     let attempts = policy.max_attempts.max(1);
+    if opts.budget.exhausted(0) {
+        let err = Error::DeadlineExceeded {
+            iterations: 0,
+            best: None,
+        };
+        report.error = Some(err.to_string());
+        report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+        return (Err(err), report);
+    }
     let mut blended: Option<Vec<f64>>;
     let mut last_err = Error::Numerical("no attempts made".into());
+    let mut salvage: Option<Box<Salvage>> = None;
+    let mut deadline_iters = 0;
     for k in 0..attempts {
-        let level_opts = relaxed_barrier_options(opts, policy, k);
+        if k > 0 && opts.budget.exhausted(0) {
+            last_err = Error::DeadlineExceeded {
+                iterations: deadline_iters,
+                best: salvage.take(),
+            };
+            break;
+        }
+        let mut level_opts = relaxed_barrier_options(opts, policy, k);
+        level_opts.budget = opts.budget.slice(attempts - k);
         let start: Option<&[f64]> = match k {
             0 => x0,
             1 => {
@@ -205,6 +261,18 @@ pub fn solve_barrier_with_retry(
                 report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
                 return (Ok(sol), report);
             }
+            Err(Error::DeadlineExceeded { iterations, best }) => {
+                // This level's *slice* ran out. Keep the best salvage point
+                // seen so far and move on to the next level while overall
+                // time remains; the slot budget, not numerics, decides.
+                deadline_iters += iterations;
+                salvage = better_salvage(salvage, best);
+                report.final_residual = salvage.as_ref().map_or(f64::NAN, |s| s.residual);
+                last_err = Error::DeadlineExceeded {
+                    iterations: deadline_iters,
+                    best: salvage.clone(),
+                };
+            }
             Err(err) => {
                 report.final_residual = residual_of(&err);
                 let fatal = !retryable(&err);
@@ -214,6 +282,14 @@ pub fn solve_barrier_with_retry(
                 }
             }
         }
+    }
+    // If the whole budget is gone, make sure the caller hears "deadline"
+    // (with salvage) rather than the incidental last numerical error.
+    if opts.budget.exhausted(0) && !matches!(last_err, Error::DeadlineExceeded { .. }) {
+        last_err = Error::DeadlineExceeded {
+            iterations: deadline_iters,
+            best: salvage.take(),
+        };
     }
     report.error = Some(last_err.to_string());
     report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
@@ -239,16 +315,45 @@ pub fn solve_lp_with_retry(
     let clock = Instant::now();
     let mut report = SolveReport::start();
     let attempts = policy.max_attempts.max(1);
+    if opts.budget.exhausted(0) {
+        let err = Error::DeadlineExceeded {
+            iterations: 0,
+            best: None,
+        };
+        report.error = Some(err.to_string());
+        report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+        return (Err(err), report);
+    }
     let mut last_err = Error::Numerical("no attempts made".into());
+    let mut salvage: Option<Box<Salvage>> = None;
+    let mut deadline_iters = 0;
     for k in 0..attempts {
+        if k > 0 && opts.budget.exhausted(0) {
+            last_err = Error::DeadlineExceeded {
+                iterations: deadline_iters,
+                best: salvage.take(),
+            };
+            break;
+        }
         report.attempts = k + 1;
         report.fallback_level = k;
-        match lp.solve_with(&relaxed_ipm_options(opts, policy, k)) {
+        let mut level_opts = relaxed_ipm_options(opts, policy, k);
+        level_opts.budget = opts.budget.slice(attempts - k);
+        match lp.solve_with(&level_opts) {
             Ok(sol) => {
                 report.converged = true;
                 report.final_residual = lp.max_violation(&sol.x);
                 report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
                 return (Ok(sol), report);
+            }
+            Err(Error::DeadlineExceeded { iterations, best }) => {
+                deadline_iters += iterations;
+                salvage = better_salvage(salvage, best);
+                report.final_residual = salvage.as_ref().map_or(f64::NAN, |s| s.residual);
+                last_err = Error::DeadlineExceeded {
+                    iterations: deadline_iters,
+                    best: salvage.clone(),
+                };
             }
             Err(err) => {
                 report.final_residual = residual_of(&err);
@@ -260,7 +365,10 @@ pub fn solve_lp_with_retry(
             }
         }
     }
-    if policy.simplex_fallback && retryable(&last_err) {
+    // The simplex rung cannot be cancelled mid-pivot, so it only runs when
+    // no deadline pressure exists: never after a DeadlineExceeded (not
+    // `retryable`), and never once the overall budget is spent.
+    if policy.simplex_fallback && retryable(&last_err) && !opts.budget.exhausted(0) {
         report.attempts += 1;
         report.fallback_level = attempts;
         match lp.solve_simplex() {
@@ -273,6 +381,12 @@ pub fn solve_lp_with_retry(
             Err(err) => last_err = err,
         }
     }
+    if opts.budget.exhausted(0) && !matches!(last_err, Error::DeadlineExceeded { .. }) {
+        last_err = Error::DeadlineExceeded {
+            iterations: deadline_iters,
+            best: salvage.take(),
+        };
+    }
     report.error = Some(last_err.to_string());
     report.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
     (Err(last_err), report)
@@ -281,6 +395,7 @@ pub fn solve_lp_with_retry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::SolveBudget;
     use crate::convex::{ScalarTerm, SeparableObjective};
     use crate::lp::ConstraintSense;
     use crate::sparse::Triplets;
@@ -412,6 +527,117 @@ mod tests {
             assert!(i.reg >= prev_i.reg);
             assert!(i.step_scale <= prev_i.step_scale);
         }
+    }
+
+    #[test]
+    fn expired_budget_returns_immediately_without_attempting() {
+        use std::time::{Duration, Instant};
+        let dead = SolveBudget::until(Instant::now() - Duration::from_millis(1));
+        let opts = BarrierOptions {
+            budget: dead,
+            ..BarrierOptions::default()
+        };
+        let (result, report) =
+            solve_barrier_with_retry(&toy_barrier(), None, &opts, &RetryPolicy::default());
+        assert!(matches!(
+            result,
+            Err(Error::DeadlineExceeded {
+                iterations: 0,
+                best: None
+            })
+        ));
+        assert_eq!(report.attempts, 0, "no solve may run on an expired budget");
+        assert!(!report.converged);
+
+        let lp_opts = IpmOptions {
+            budget: dead,
+            ..IpmOptions::default()
+        };
+        let (result, report) =
+            solve_lp_with_retry(&toy_lp(), &lp_opts, &RetryPolicy::default());
+        assert!(matches!(
+            result,
+            Err(Error::DeadlineExceeded {
+                iterations: 0,
+                best: None
+            })
+        ));
+        assert_eq!(report.attempts, 0);
+    }
+
+    #[test]
+    fn relaxation_levels_never_exceed_the_remaining_budget() {
+        use std::time::Instant;
+        // Each level's slice deadline must sit at or before the overall
+        // deadline, for every level in the chain.
+        let policy = RetryPolicy::default();
+        let overall = SolveBudget::from_millis(200.0);
+        let base = BarrierOptions {
+            budget: overall,
+            ..BarrierOptions::default()
+        };
+        let attempts = policy.max_attempts;
+        for k in 0..attempts {
+            let mut level = relaxed_barrier_options(&base, &policy, k);
+            level.budget = base.budget.slice(attempts - k);
+            let level_deadline = level.budget.deadline.expect("slice keeps a deadline");
+            assert!(
+                level_deadline <= overall.deadline.unwrap(),
+                "level {k} slice extends past the overall deadline"
+            );
+            assert!(level_deadline >= Instant::now() - std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn budgeted_solve_salvages_an_iterate_under_deadline_pressure() {
+        // A one-iteration ceiling per solve forces DeadlineExceeded from
+        // every rung deterministically (no wall-clock flakiness), while the
+        // generous wall deadline keeps the overall chain alive so every
+        // level gets visited.
+        let opts = BarrierOptions {
+            budget: SolveBudget::from_millis(60_000.0).with_max_iters(1),
+            ..BarrierOptions::default()
+        };
+        let policy = RetryPolicy::default();
+        let start = [1.5, 1.5];
+        let (result, report) =
+            solve_barrier_with_retry(&toy_barrier(), Some(&start), &opts, &policy);
+        match result {
+            Err(Error::DeadlineExceeded { best, .. }) => {
+                let s = best.expect("barrier deadline carries a salvage iterate");
+                assert_eq!(s.x.len(), 2);
+                // Barrier iterates are strictly feasible: x + y > 2.
+                assert!(s.x[0] + s.x[1] > 2.0, "salvage not interior: {:?}", s.x);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            report.attempts, policy.max_attempts,
+            "slice expiry must not abort the chain while overall time remains"
+        );
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn deadline_skips_the_simplex_rung() {
+        // One-iteration budget: every IPM rung dies on its ceiling. The
+        // simplex rung cannot be cancelled, so it must not run, and the
+        // final error must be DeadlineExceeded rather than MaxIterations.
+        let opts = IpmOptions {
+            budget: SolveBudget::from_millis(60_000.0).with_max_iters(1),
+            ..IpmOptions::default()
+        };
+        let policy = RetryPolicy {
+            simplex_fallback: true,
+            ..RetryPolicy::default()
+        };
+        let (result, report) = solve_lp_with_retry(&toy_lp(), &opts, &policy);
+        assert!(matches!(result, Err(Error::DeadlineExceeded { .. })));
+        assert_eq!(
+            report.attempts, policy.max_attempts,
+            "simplex rung must not run under deadline pressure"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Results of one algorithm across all repetitions of a scenario.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AlgorithmOutcome {
     /// Algorithm label.
     pub name: String,
@@ -84,7 +84,7 @@ impl AlgorithmOutcome {
 }
 
 /// One repetition that produced no data, and why.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RepFailure {
     /// Repetition index.
     pub repetition: usize,
@@ -96,7 +96,7 @@ pub struct RepFailure {
 }
 
 /// Results of a whole scenario.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ScenarioOutcome {
     /// Scenario name.
     pub name: String,
@@ -207,7 +207,7 @@ fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionRe
     };
     let mut per_algorithm = Vec::with_capacity(scenario.algorithms.len());
     for kind in &scenario.algorithms {
-        let mut alg = kind.build();
+        let mut alg = kind.build_with_deadline(scenario.slot_deadline_ms);
         let traj = edgealloc::algorithms::run_online(&inst, alg.as_mut())?;
         per_algorithm.push((
             evaluate_trajectory(eval, &traj.allocations),
@@ -377,6 +377,41 @@ mod tests {
             for (rx, ry) in x.ratios.iter().zip(&y.ratios) {
                 assert!((rx - ry).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_through_serde() {
+        // Checkpoint resume re-reads completed sweep points from disk, so
+        // outcomes must deserialize back to the same payload.
+        let outcome = run_scenario(&tiny_scenario()).unwrap();
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: ScenarioOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, outcome.name);
+        assert_eq!(back.offline_totals, outcome.offline_totals);
+        assert_eq!(back.algorithms.len(), outcome.algorithms.len());
+        for (a, b) in outcome.algorithms.iter().zip(&back.algorithms) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ratios, b.ratios);
+            assert_eq!(a.totals, b.totals);
+        }
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            json,
+            "re-serialization must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn generous_scenario_deadline_stays_healthy() {
+        let scenario = Scenario {
+            slot_deadline_ms: Some(30_000.0),
+            ..tiny_scenario()
+        };
+        let outcome = run_scenario(&scenario).unwrap();
+        assert!(outcome.fully_healthy(), "{:?}", outcome.failures);
+        for alg in &outcome.algorithms {
+            assert_eq!(alg.merged_health().deadline_hits, 0, "{}", alg.name);
         }
     }
 

@@ -69,11 +69,26 @@ pub enum AlgorithmKind {
 impl AlgorithmKind {
     /// Instantiates the algorithm.
     pub fn build(&self) -> Box<dyn OnlineAlgorithm + Send> {
+        self.build_with_deadline(None)
+    }
+
+    /// Instantiates the algorithm with a per-slot wall-clock budget in
+    /// milliseconds. Only the regularized variants solve anything that can
+    /// run long, so only they honor the deadline; the atomistic and static
+    /// baselines are O(users·clouds) per slot and ignore it.
+    pub fn build_with_deadline(
+        &self,
+        slot_deadline_ms: Option<f64>,
+    ) -> Box<dyn OnlineAlgorithm + Send> {
         match *self {
-            AlgorithmKind::Approx { eps } => Box::new(OnlineRegularized::with_epsilon(eps)),
-            AlgorithmKind::ApproxExplicit { eps } => {
-                Box::new(OnlineRegularized::with_epsilon(eps).with_explicit_capacity())
-            }
+            AlgorithmKind::Approx { eps } => Box::new(
+                OnlineRegularized::with_epsilon(eps).with_slot_deadline_ms(slot_deadline_ms),
+            ),
+            AlgorithmKind::ApproxExplicit { eps } => Box::new(
+                OnlineRegularized::with_epsilon(eps)
+                    .with_explicit_capacity()
+                    .with_slot_deadline_ms(slot_deadline_ms),
+            ),
             AlgorithmKind::Greedy => Box::new(OnlineGreedy::new()),
             AlgorithmKind::PerfOpt => Box::new(PerfOpt::new()),
             AlgorithmKind::OperOpt => Box::new(OperOpt::new()),
@@ -136,6 +151,10 @@ pub struct Scenario {
     /// Faults injected into every repetition's instance (empty by
     /// default); see [`crate::faults`].
     pub faults: FaultPlan,
+    /// Per-slot wall-clock budget in milliseconds for the deadline-aware
+    /// algorithms (`None` = unlimited; absent in legacy scenario JSON).
+    #[serde(default)]
+    pub slot_deadline_ms: Option<f64>,
 }
 
 impl Default for Scenario {
@@ -164,6 +183,7 @@ impl Default for Scenario {
             delay_per_km: 2.0,
             utilization: 0.8,
             faults: FaultPlan::none(),
+            slot_deadline_ms: None,
         }
     }
 }
@@ -198,11 +218,24 @@ mod tests {
 
     #[test]
     fn scenario_round_trips_through_json() {
-        let s = Scenario::default();
+        let s = Scenario {
+            slot_deadline_ms: Some(50.0),
+            ..Scenario::default()
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, s.name);
         assert_eq!(back.repetitions, s.repetitions);
+        assert_eq!(back.slot_deadline_ms, Some(50.0));
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_deadline_parses() {
+        let json = serde_json::to_string(&Scenario::default()).unwrap();
+        let legacy = json.replace(",\"slot_deadline_ms\":null", "");
+        assert_ne!(legacy, json, "expected the field to be present and removable");
+        let back: Scenario = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.slot_deadline_ms, None);
     }
 
     #[test]

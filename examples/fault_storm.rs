@@ -75,7 +75,9 @@ fn main() -> Result<(), edgealloc::Error> {
     for (t, h) in traj.health.iter().enumerate() {
         println!(
             "  slot {t}: rung {:?}, {} attempt(s), residual {:.2e}",
-            h.rung, h.attempts, h.final_residual
+            h.rung,
+            h.attempts,
+            h.final_residual.unwrap_or(f64::NAN)
         );
     }
     let cost = evaluate_trajectory(&inst, &traj.allocations);
