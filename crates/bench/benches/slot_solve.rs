@@ -9,16 +9,23 @@ use criterion::{criterion_group, criterion_main, black_box, Criterion};
 use edgealloc::prelude::*;
 use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
 use edgealloc::SlotInput;
-use optim::convex::BarrierOptions;
+use optim::convex::{BarrierOptions, SchurKernel};
 use rand::SeedableRng;
 
 /// A taxi instance at the profiling shape (scaled down for bench runtime),
 /// plus the slot-0 solution used as the previous allocation for slot 1.
 fn fixture() -> (Instance, Allocation) {
+    fixture_sized(15)
+}
+
+/// Same fixture at an arbitrary user count. Slot 0 is solved with the
+/// default kernel ([`SchurKernel::Auto`] — blocked at this scale) just to
+/// obtain a realistic previous allocation.
+fn fixture_sized(num_users: usize) -> (Instance, Allocation) {
     let net = mobility::rome_metro();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let cfg = mobility::taxi::TaxiConfig {
-        num_users: 15,
+        num_users,
         num_slots: 2,
         ..Default::default()
     };
@@ -79,5 +86,44 @@ fn bench_slot_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_solve);
+/// The large-J regime the blocked nested-Schur kernel exists for: a warm
+/// J=2000 slot solve, where the dense Woodbury complement would pay a
+/// (J+2I)³ factorization per Newton step and the blocked kernel pays
+/// O(J·I²) plus one small Cholesky.
+fn bench_slot_solve_j2000(c: &mut Criterion) {
+    let (inst, prev) = fixture_sized(2000);
+    let input = SlotInput::from_instance(&inst, 1);
+    let eps = Epsilons::default();
+    let opts = BarrierOptions::default();
+    let prev_flat = prev.as_flat().to_vec();
+
+    let mut group = c.benchmark_group("slot_solve_j2000");
+    group.sample_size(10);
+
+    let mut ws = P2Workspace::new_with_kernel(
+        &input,
+        &prev,
+        eps,
+        CapacityMode::Paper10b,
+        SchurKernel::Blocked,
+    )
+    .expect("workspace build");
+    let warm_opts = BarrierOptions {
+        t0: 1e5,
+        ..BarrierOptions::default()
+    };
+    group.bench_function("warm_refresh_blocked", |b| {
+        b.iter(|| {
+            ws.refresh(black_box(&input), &prev).expect("refresh");
+            let sol = match ws.solve(Some(&prev_flat), &warm_opts) {
+                Ok(sol) => sol,
+                Err(_) => ws.solve(None, &opts).expect("warm solve"),
+            };
+            black_box(sol.objective)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_solve, bench_slot_solve_j2000);
 criterion_main!(benches);

@@ -28,9 +28,7 @@
 //! timing-dependent.)
 
 use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -124,30 +122,23 @@ impl Flags {
 
 /// Number of worker threads to default a sweep to: every available core.
 ///
-/// Note that [`sim::run_scenario`] already fans a scenario's *repetitions*
-/// across threads, so a sweep running `threads` points concurrently peaks
-/// at `threads × repetitions` OS threads — each solving a small
-/// independent problem, which the scheduler handles fine at figure scale.
+/// Oversubscription is prevented one layer down: the sweep's point fan-out
+/// and [`sim::run_scenario`]'s repetition fan-out both lease workers from
+/// the process-global [`optim::parallel::WorkerBudget`], so whichever layer
+/// starts first claims the spare cores and the nested layers run inline —
+/// the process never has more runnable workers than cores, no matter how
+/// `threads × repetitions` multiplies out.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Renders a panic payload into a readable message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic with non-string payload".to_string()
-    }
-}
-
-/// Maps `f` over `items` on up to `threads` scoped worker threads, pulling
-/// work from a shared atomic queue (long points don't straggle behind a
-/// static partition), and *isolates* each point: a panic inside `f` is
-/// caught and returned as that point's `Err` while the other workers keep
-/// draining the queue. Results come back in input order.
+/// Maps `f` over `items` on scoped worker threads (at most `threads`,
+/// further capped by the process-global [`optim::parallel::WorkerBudget`]
+/// so nested fan-outs never oversubscribe cores), pulling work from a
+/// shared atomic queue (long points don't straggle behind a static
+/// partition), and *isolating* each point: a panic inside `f` is caught and
+/// returned as that point's `Err` while the other workers keep draining the
+/// queue. Results come back in input order.
 ///
 /// With `threads <= 1` (or a single item) the map runs inline on the
 /// calling thread — with the same per-point isolation.
@@ -161,37 +152,12 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let run_one = |item: &T| {
-        catch_unwind(AssertUnwindSafe(|| f(item)))
-            .map_err(|payload| format!("panicked: {}", panic_message(payload)))
-    };
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(run_one).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let cells: Vec<Mutex<Option<Result<R, String>>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = run_one(&items[i]);
-                *cells[i].lock().expect("result cell poisoned") = Some(r);
-            });
-        }
-    });
-    cells
-        .into_iter()
-        .map(|c| {
-            c.into_inner()
-                .expect("result cell poisoned")
-                .expect("every index was claimed by a worker")
-        })
-        .collect()
+    optim::parallel::try_parallel_map_budgeted(
+        items,
+        threads,
+        optim::parallel::WorkerBudget::global(),
+        f,
+    )
 }
 
 /// [`try_parallel_map`] for sweeps where a failed point is fatal: the whole
@@ -437,6 +403,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn flags(s: &[&str]) -> Flags {
         Flags::from_args(&s.iter().map(|v| v.to_string()).collect::<Vec<_>>())

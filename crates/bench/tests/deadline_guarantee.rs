@@ -67,10 +67,11 @@ fn fifty_ms_slot_deadline_bounds_a_faulted_horizon() {
     // uncancellable Newton step / phase-I factorization of overshoot (plus
     // a little absolute grace for a loaded CI machine). The deadline is
     // checked between steps, so a debug build — whose individual steps run
-    // ~10× slower — gets a proportionally slacker bound; the CI chaos job
-    // enforces the tight one in release.
+    // 10–15× slower depending on the host — gets a proportionally slacker
+    // bound (the debug run only checks the overshoot is bounded at all);
+    // the CI chaos job enforces the tight one in release.
     let bound_ms = if cfg!(debug_assertions) {
-        12.0 * deadline_ms
+        20.0 * deadline_ms
     } else {
         2.0 * deadline_ms + 25.0
     };

@@ -1,0 +1,92 @@
+//! Perf-smoke gate for the blocked nested-Schur kernel: a warm J=2000,
+//! I=15 slot solve must finish under a generous wall-clock ceiling. The
+//! ceiling is deliberately loose (shared CI runners are noisy) — it exists
+//! to catch *complexity* regressions, e.g. the blocked kernel silently
+//! falling back to the dense (J+2I)³ path, which at J=2000 is orders of
+//! magnitude slower, not percent.
+//!
+//! Run in release only (`cargo test -p bench --release --test
+//! perf_ceiling`); under a debug build the test is a no-op because debug
+//! arithmetic is uniformly ~30× slower and would need a ceiling too loose
+//! to gate anything.
+
+use edgealloc::prelude::*;
+use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
+use edgealloc::SlotInput;
+use optim::convex::{BarrierOptions, SchurKernel};
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Wall-clock ceiling for one warm blocked slot solve at J=2000, I=15.
+/// Typical release time is a few hundred milliseconds; the dense kernel at
+/// this shape takes minutes.
+const WARM_SOLVE_CEILING: Duration = Duration::from_secs(60);
+
+#[test]
+fn warm_j2000_blocked_slot_solve_under_ceiling() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf_ceiling: skipped (debug build)");
+        return;
+    }
+
+    let net = mobility::rome_metro();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = mobility::taxi::TaxiConfig {
+        num_users: 2000,
+        num_slots: 2,
+        ..Default::default()
+    };
+    let mob = mobility::taxi::generate(&net, &cfg, &mut rng);
+    let inst = Instance::synthetic(&net, mob, &mut rng);
+
+    let input0 = SlotInput::from_instance(&inst, 0);
+    let zeros = Allocation::zeros(inst.num_clouds(), inst.num_users());
+    let eps = Epsilons::default();
+    let opts = BarrierOptions::default();
+    let prev = p2::solve(&input0, &zeros, eps, None, &opts)
+        .expect("slot 0 solve")
+        .allocation;
+    let prev_flat = prev.as_flat().to_vec();
+
+    let input = SlotInput::from_instance(&inst, 1);
+    let mut ws = P2Workspace::new_with_kernel(
+        &input,
+        &prev,
+        eps,
+        CapacityMode::Paper10b,
+        SchurKernel::Blocked,
+    )
+    .expect("workspace build");
+    let warm_opts = BarrierOptions {
+        t0: 1e5,
+        ..BarrierOptions::default()
+    };
+
+    // Warm-up: first solve grows workspace buffers to steady state.
+    ws.refresh(&input, &prev).expect("refresh");
+    ws.solve(Some(&prev_flat), &warm_opts)
+        .or_else(|_| ws.solve(None, &opts))
+        .expect("warm-up solve");
+
+    let start = Instant::now();
+    ws.refresh(&input, &prev).expect("refresh");
+    let sol = ws
+        .solve(Some(&prev_flat), &warm_opts)
+        .or_else(|_| ws.solve(None, &opts))
+        .expect("timed solve");
+    let elapsed = start.elapsed();
+
+    eprintln!(
+        "perf_ceiling: warm J=2000 blocked solve took {:.1} ms \
+         ({} Newton steps, objective {:.6e})",
+        elapsed.as_secs_f64() * 1e3,
+        sol.stats.newton_steps,
+        sol.objective
+    );
+    assert!(
+        elapsed <= WARM_SOLVE_CEILING,
+        "warm J=2000 blocked slot solve took {elapsed:?} (ceiling \
+         {WARM_SOLVE_CEILING:?}) — did the blocked kernel regress to a \
+         superlinear path?"
+    );
+}

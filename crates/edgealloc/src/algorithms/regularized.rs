@@ -9,7 +9,7 @@ use crate::programs::per_slot_lp::{
 };
 use crate::Result;
 use optim::budget::SolveBudget;
-use optim::convex::BarrierOptions;
+use optim::convex::{BarrierOptions, SchurKernel};
 use optim::lp::IpmOptions;
 use optim::resilience::{self, RetryPolicy};
 use optim::Salvage;
@@ -44,6 +44,8 @@ pub struct OnlineRegularized {
     warm_start: bool,
     repair: bool,
     capacity_mode: CapacityMode,
+    kernel: SchurKernel,
+    solver_threads: usize,
     policy: RetryPolicy,
     fallback: bool,
     workspace_reuse: bool,
@@ -68,6 +70,8 @@ impl OnlineRegularized {
             warm_start: true,
             repair: true,
             capacity_mode: CapacityMode::Paper10b,
+            kernel: SchurKernel::Auto,
+            solver_threads: 1,
             policy: RetryPolicy::default(),
             fallback: true,
             workspace_reuse: true,
@@ -143,6 +147,28 @@ impl OnlineRegularized {
     /// Overrides the barrier-solver options.
     pub fn with_solver_options(mut self, options: BarrierOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Forces the Newton-step Schur kernel instead of the default
+    /// [`SchurKernel::Auto`] cutover (dense Woodbury for small user counts,
+    /// user-blocked nested-Schur elimination for large ones). Mainly for
+    /// benchmarking and kernel-equivalence tests; results agree to solver
+    /// tolerance either way.
+    pub fn with_schur_kernel(mut self, kernel: SchurKernel) -> Self {
+        self.kernel = kernel;
+        self.workspace = None;
+        self
+    }
+
+    /// Worker-thread target for the blocked kernel's per-user elimination.
+    /// Extra workers are leased per Newton step from the process-global
+    /// [`optim::parallel::WorkerBudget`], so sweeps running many solves
+    /// concurrently degrade gracefully to sequential solves instead of
+    /// oversubscribing cores. The default of 1 keeps solves deterministic
+    /// and allocation-free.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads.max(1);
         self
     }
 
@@ -242,19 +268,34 @@ impl OnlineRegularized {
                     ws.refresh(input, prev)?;
                     ws
                 }
-                None => P2Workspace::new(input, prev, self.eps, self.capacity_mode)?,
+                None => P2Workspace::new_with_kernel(
+                    input,
+                    prev,
+                    self.eps,
+                    self.capacity_mode,
+                    self.kernel,
+                )?,
             };
             self.workspace = Some(ws);
+            if let Some(ws) = self.workspace.as_mut() {
+                ws.set_schur_threads(self.solver_threads);
+            }
             None
         } else {
-            Some(p2::build_with_mode(input, prev, self.eps, self.capacity_mode)?)
+            let mut solver =
+                p2::build_with_kernel(input, prev, self.eps, self.capacity_mode, self.kernel)?;
+            solver.set_schur_threads(self.solver_threads);
+            Some(solver)
         };
-        let total_constraints = {
+        let (total_constraints, kernel_name) = {
             let solver = fresh
                 .as_ref()
                 .or_else(|| self.workspace.as_ref().map(P2Workspace::solver))
                 .expect("one solve path was just set up");
-            (solver.num_rows() + solver.num_vars()) as f64
+            (
+                (solver.num_rows() + solver.num_vars()) as f64,
+                solver.schur_kernel_name(),
+            )
         };
         let proportional = p2::proportional_start(input);
         let warm = if self.warm_start {
@@ -326,12 +367,18 @@ impl OnlineRegularized {
                 }
                 other => other,
             };
-            health.rung_ms.push(rung_clock.elapsed().as_secs_f64() * 1e3);
+            let rung_elapsed_ms = rung_clock.elapsed().as_secs_f64() * 1e3;
+            health.rung_ms.push(rung_elapsed_ms);
             match attempt {
                 Ok(sol) => {
                     health.final_residual = Some(sol.stats.gap);
                     health.newton_steps = sol.stats.newton_steps;
                     health.outer_iterations = sol.stats.outer_iterations;
+                    health.schur_kernel = Some(kernel_name.to_string());
+                    if sol.stats.newton_steps > 0 {
+                        health.newton_step_ms =
+                            Some(rung_elapsed_ms / sol.stats.newton_steps as f64);
+                    }
                     // Terminal t = (m+n)/gap seeds the next slot's t0.
                     if sol.stats.gap.is_finite() && sol.stats.gap > 0.0 {
                         self.last_t_final = Some(total_constraints / sol.stats.gap);

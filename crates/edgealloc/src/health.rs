@@ -84,6 +84,16 @@ pub struct SlotHealth {
     /// non-barrier rungs and legacy records).
     #[serde(default)]
     pub outer_iterations: usize,
+    /// Which Newton-step Schur kernel the accepted barrier solve used
+    /// (`"dense"` or `"blocked"`; `None` for non-barrier rungs and legacy
+    /// records).
+    #[serde(default)]
+    pub schur_kernel: Option<String>,
+    /// Mean wall time per Newton step of the accepted barrier solve, in
+    /// milliseconds (`None` when no barrier solve was accepted or no step
+    /// ran) — the per-step cost the kernel choice is supposed to move.
+    #[serde(default)]
+    pub newton_step_ms: Option<f64>,
     /// Errors swallowed along the way (the failures that pushed the
     /// decision down the ladder), newest last.
     pub errors: Vec<String>,
@@ -104,6 +114,8 @@ impl SlotHealth {
             sanitized: false,
             newton_steps: 0,
             outer_iterations: 0,
+            schur_kernel: None,
+            newton_step_ms: None,
             errors: Vec::new(),
         }
     }
@@ -135,6 +147,8 @@ impl SlotHealth {
             sanitized: false,
             newton_steps: 0,
             outer_iterations: 0,
+            schur_kernel: None,
+            newton_step_ms: None,
             errors: report.error.iter().cloned().collect(),
         }
     }
@@ -222,6 +236,11 @@ pub struct HealthSummary {
     /// Slots whose wall-clock budget expired while deciding.
     #[serde(default)]
     pub deadline_hits: usize,
+    /// Slots whose accepted barrier solve used the blocked nested-Schur
+    /// kernel (0 for legacy records; dense-kernel slots are
+    /// `slots − blocked_kernel_slots − non-barrier slots`).
+    #[serde(default)]
+    pub blocked_kernel_slots: usize,
 }
 
 impl HealthSummary {
@@ -244,6 +263,9 @@ impl HealthSummary {
             if h.deadline_hit {
                 summary.deadline_hits += 1;
             }
+            if h.schur_kernel.as_deref() == Some("blocked") {
+                summary.blocked_kernel_slots += 1;
+            }
         }
         summary
     }
@@ -257,6 +279,7 @@ impl HealthSummary {
         self.newton_steps += other.newton_steps;
         self.peak_outer_iterations = self.peak_outer_iterations.max(other.peak_outer_iterations);
         self.deadline_hits += other.deadline_hits;
+        self.blocked_kernel_slots += other.blocked_kernel_slots;
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -350,6 +373,24 @@ mod tests {
         assert_eq!(h.deadline_ms, None);
         assert!(h.rung_ms.is_empty());
         assert_eq!(h.final_residual, Some(0.0));
+        assert_eq!(h.schur_kernel, None);
+        assert_eq!(h.newton_step_ms, None);
+    }
+
+    #[test]
+    fn summary_counts_blocked_kernel_slots() {
+        let mut a = SlotHealth::primary();
+        a.schur_kernel = Some("blocked".into());
+        a.newton_step_ms = Some(0.4);
+        let mut b = SlotHealth::primary();
+        b.schur_kernel = Some("dense".into());
+        let c = SlotHealth::primary(); // non-barrier slot: no kernel
+        let mut s = HealthSummary::from_slots(&[a.clone(), b, c]);
+        assert_eq!(s.blocked_kernel_slots, 1);
+        assert!(!a.degraded(), "kernel choice is not a degradation");
+        let other = HealthSummary::from_slots(&[a]);
+        s.merge(&other);
+        assert_eq!(s.blocked_kernel_slots, 2);
     }
 
     #[test]

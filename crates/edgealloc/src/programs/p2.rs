@@ -20,7 +20,7 @@ use crate::algorithms::SlotInput;
 use crate::allocation::Allocation;
 use crate::{Error, Result};
 use optim::convex::{
-    BarrierOptions, BarrierSolution, BarrierSolver, BarrierWorkspace, ScalarTerm,
+    BarrierOptions, BarrierSolution, BarrierSolver, BarrierWorkspace, ScalarTerm, SchurKernel,
     SeparableObjective,
 };
 use optim::sparse::Triplets;
@@ -97,6 +97,26 @@ pub fn build_with_mode(
     prev: &Allocation,
     eps: Epsilons,
     mode: CapacityMode,
+) -> Result<BarrierSolver> {
+    build_with_kernel(input, prev, eps, mode, SchurKernel::Auto)
+}
+
+/// [`build_with_mode`] with an explicit Newton-step Schur kernel. The
+/// default [`SchurKernel::Auto`] cutover keeps the dense Woodbury path for
+/// small user counts and switches to the user-blocked nested-Schur
+/// elimination (per-slot cost linear instead of cubic in `J`) once the
+/// demand-row block is large enough to pay off; forcing a kernel is mainly
+/// for benchmarking and equivalence tests.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] for non-positive epsilons.
+pub fn build_with_kernel(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    eps: Epsilons,
+    mode: CapacityMode,
+    kernel: SchurKernel,
 ) -> Result<BarrierSolver> {
     if !(eps.eps1 > 0.0) || !(eps.eps2 > 0.0) {
         return Err(Error::Invalid("ε₁ and ε₂ must be positive".into()));
@@ -176,7 +196,7 @@ pub fn build_with_mode(
         }
         b.push(capacity_rhs(input, i, mode, total_workload));
     }
-    BarrierSolver::new(f, a.to_csc(), b).map_err(Error::from)
+    BarrierSolver::new_with_kernel(f, a.to_csc(), b, kernel).map_err(Error::from)
 }
 
 /// Weight `c̃_i/η_i` of cloud `i`'s aggregate (reconfiguration) regularizer,
@@ -279,6 +299,7 @@ pub struct P2Workspace {
     barrier: BarrierWorkspace,
     eps: Epsilons,
     mode: CapacityMode,
+    kernel: SchurKernel,
     sig: StructureSig,
 }
 
@@ -294,15 +315,38 @@ impl P2Workspace {
         eps: Epsilons,
         mode: CapacityMode,
     ) -> Result<Self> {
-        let solver = build_with_mode(input, prev, eps, mode)?;
+        Self::new_with_kernel(input, prev, eps, mode, SchurKernel::Auto)
+    }
+
+    /// [`P2Workspace::new`] with an explicit Schur kernel (see
+    /// [`build_with_kernel`]); structure-signature rebuilds keep the choice.
+    ///
+    /// # Errors
+    ///
+    /// As [`build_with_mode`].
+    pub fn new_with_kernel(
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        eps: Epsilons,
+        mode: CapacityMode,
+        kernel: SchurKernel,
+    ) -> Result<Self> {
+        let solver = build_with_kernel(input, prev, eps, mode, kernel)?;
         let barrier = BarrierWorkspace::for_solver(&solver);
         Ok(P2Workspace {
             barrier,
             solver,
             eps,
             mode,
+            kernel,
             sig: StructureSig::of(input, eps),
         })
+    }
+
+    /// Worker-thread target for the blocked kernel's per-user elimination
+    /// (see [`BarrierSolver::set_schur_threads`]).
+    pub fn set_schur_threads(&mut self, threads: usize) {
+        self.solver.set_schur_threads(threads);
     }
 
     /// Re-targets the workspace at a new slot: overwrites every term value
@@ -319,7 +363,9 @@ impl P2Workspace {
     pub fn refresh(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<()> {
         let sig = StructureSig::of(input, self.eps);
         if sig != self.sig {
-            self.solver = build_with_mode(input, prev, self.eps, self.mode)?;
+            let threads = 1.max(self.solver.schur_threads());
+            self.solver = build_with_kernel(input, prev, self.eps, self.mode, self.kernel)?;
+            self.solver.set_schur_threads(threads);
             self.sig = sig;
             return Ok(());
         }

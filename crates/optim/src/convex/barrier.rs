@@ -1,7 +1,7 @@
 //! Log-barrier path-following solver for separable convex programs.
 
 use crate::budget::SolveBudget;
-use crate::convex::{DiagPlusLowRank, DiagPlusLowRankWorkspace, SeparableObjective};
+use crate::convex::{DiagPlusLowRank, DiagPlusLowRankWorkspace, SchurKernel, SeparableObjective};
 use crate::lp::{ConstraintSense, IpmOptions, LpProblem};
 use crate::sparse::{CscMatrix, Triplets};
 use crate::{Error, Result, Salvage};
@@ -116,6 +116,24 @@ impl BarrierSolver {
     ///
     /// Returns [`Error::Dimension`] on inconsistent sizes.
     pub fn new(objective: SeparableObjective, a: CscMatrix, b: Vec<f64>) -> Result<Self> {
+        Self::new_with_kernel(objective, a, b, SchurKernel::Auto)
+    }
+
+    /// [`BarrierSolver::new`] with an explicit Newton-step Schur kernel
+    /// (see [`SchurKernel`]); `new` uses [`SchurKernel::Auto`], which keeps
+    /// the dense path for small programs and switches to the user-blocked
+    /// nested-Schur elimination when the constraint pattern has a large
+    /// block of pairwise-disjoint rows (ℙ₂'s per-user demand rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] on inconsistent sizes.
+    pub fn new_with_kernel(
+        objective: SeparableObjective,
+        a: CscMatrix,
+        b: Vec<f64>,
+        kernel: SchurKernel,
+    ) -> Result<Self> {
         let n = objective.num_vars();
         if a.ncols() != n {
             return Err(Error::Dimension(format!(
@@ -146,7 +164,7 @@ impl BarrierSolver {
                 t.push(g + r, c, vals[p]);
             }
         }
-        let coupling = DiagPlusLowRank::new(t.to_csc());
+        let coupling = DiagPlusLowRank::with_kernel(t.to_csc(), kernel);
         Ok(BarrierSolver {
             objective,
             a,
@@ -159,6 +177,33 @@ impl BarrierSolver {
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.objective.num_vars()
+    }
+
+    /// The Schur kernel the Newton steps actually use after auto-resolution
+    /// ([`SchurKernel::Dense`] or [`SchurKernel::Blocked`]).
+    pub fn schur_kernel(&self) -> SchurKernel {
+        self.coupling.resolved_kernel()
+    }
+
+    /// Short stable name of the active Schur kernel, for health records.
+    pub fn schur_kernel_name(&self) -> &'static str {
+        match self.coupling.resolved_kernel() {
+            SchurKernel::Blocked => "blocked",
+            _ => "dense",
+        }
+    }
+
+    /// Worker-thread target for the blocked kernel's per-user elimination
+    /// (leased from the process-global [`crate::parallel::WorkerBudget`]
+    /// per Newton step; no-op on the dense kernel). The default of 1 keeps
+    /// steady-state solves allocation-free and bit-deterministic.
+    pub fn set_schur_threads(&mut self, threads: usize) {
+        self.coupling.set_threads(threads);
+    }
+
+    /// The configured Schur worker-thread target (1 = sequential).
+    pub fn schur_threads(&self) -> usize {
+        self.coupling.threads()
     }
 
     /// Number of constraint rows.

@@ -16,13 +16,17 @@
 //! method. The Newton matrix is `D + Uᵀ E U` with diagonal `D` (from the
 //! separable terms and the `x ≥ 0` barrier) and a low-rank coupling `U`
 //! (group indicator rows and the constraint rows of `A`), so each Newton
-//! step is solved with a dense Schur complement of size `#groups + #rows` —
-//! independent of the number of variables.
+//! step is solved with a Schur complement over the coupling rows —
+//! independent of the number of variables. Two Schur kernels exist
+//! ([`SchurKernel`]): the dense Woodbury complement, cubic in the coupling
+//! row count, and a user-blocked nested-Schur elimination that is *linear*
+//! in the number of pairwise-disjoint ("local") rows — for ℙ₂, linear in
+//! the number of users. [`SchurKernel::Auto`] picks per pattern.
 
 mod barrier;
 mod schur;
 mod separable;
 
 pub use barrier::{BarrierOptions, BarrierSolution, BarrierSolver, BarrierStats, BarrierWorkspace};
-pub use schur::{DiagPlusLowRank, DiagPlusLowRankWorkspace};
+pub use schur::{DiagPlusLowRank, DiagPlusLowRankWorkspace, SchurKernel};
 pub use separable::{GroupTerm, ScalarTerm, SeparableObjective};

@@ -1,21 +1,64 @@
-//! Diagonal-plus-low-rank linear solves via the Woodbury identity.
+//! Diagonal-plus-low-rank linear solves via the Woodbury identity, with a
+//! user-blocked nested-Schur kernel for arrow-structured coupling matrices.
+//!
+//! Two kernels solve the same system `(D + Uᵀ E U) dx = r`:
+//!
+//! * **Dense Woodbury** — forms the full `q × q` Schur complement
+//!   `S = E⁻¹ + U D⁻¹ Uᵀ` over the `q` active rows and factors it with one
+//!   dense Cholesky. Cost Θ(q³) per solve; right when `q` is small.
+//! * **Blocked nested Schur** — exploits *arrow structure*: when a large
+//!   subset of rows ("local" rows, e.g. ℙ₂'s per-user demand constraints)
+//!   have pairwise-disjoint column supports, the `S_LL` block is diagonal
+//!   and those rows can be eliminated in closed form, each a rank-1
+//!   downdate of the small coupling block. One solve costs
+//!   O(nnz + J·c²) + one c³ Cholesky where `J` is the local-row count and
+//!   `c ≤ 2I` the coupling-row count — linear in users instead of cubic.
+//!
+//! [`SchurKernel::Auto`] (the default) sniffs the pattern at construction
+//! and picks the blocked kernel only when the local block is large enough
+//! to pay off, so small programs keep the exact dense behavior.
 
 use crate::linalg::DenseMatrix;
+use crate::parallel::WorkerBudget;
 use crate::sparse::CscMatrix;
 use crate::{Error, Result};
+
+/// Rows with `E_i` at or below this are inert: their reciprocal would
+/// overflow toward infinity and poison the Schur complement.
+const ACTIVE_EPS: f64 = 1e-300;
+
+/// Minimum local-row count before [`SchurKernel::Auto`] switches to the
+/// blocked kernel. Below this the dense q³ Cholesky is already cheap and
+/// the dense path stays bit-identical with prior releases.
+const AUTO_MIN_LOCAL_ROWS: usize = 48;
+
+/// Which factorization kernel a [`DiagPlusLowRank`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchurKernel {
+    /// Pick automatically from the coupling pattern: blocked when at least
+    /// [`AUTO_MIN_LOCAL_ROWS`] pairwise-disjoint rows exist and they
+    /// outnumber the coupling rows; dense otherwise.
+    #[default]
+    Auto,
+    /// Always the dense Woodbury Schur complement.
+    Dense,
+    /// Always the user-blocked nested-Schur elimination (valid for any
+    /// pattern; degenerates gracefully when few rows are local).
+    Blocked,
+}
 
 /// Solves systems `(D + Uᵀ E U) dx = r` where `D ≻ 0` and `E ⪰ 0` are
 /// diagonal and `U` is a fixed `p × n` coupling matrix with `p ≪ n`.
 ///
 /// The barrier solver's Newton matrix has exactly this shape: `D` collects
 /// the separable Hessian and the `x ≥ 0` barrier curvature, while `U` stacks
-/// the group-indicator rows and the constraint rows of `A`. Each solve costs
-/// one dense `p × p` Cholesky — independent of the number of variables.
+/// the group-indicator rows and the constraint rows of `A`.
 ///
 /// Uses the Woodbury identity
 /// `(D + UᵀEU)⁻¹ = D⁻¹ − D⁻¹Uᵀ (E⁻¹ + U D⁻¹ Uᵀ)⁻¹ U D⁻¹`,
 /// restricted to rows with `E_i > 0` (zero-curvature rows contribute
-/// nothing).
+/// nothing). The inner `(E⁻¹ + U D⁻¹ Uᵀ)⁻¹` apply goes through one of two
+/// kernels — see the [module docs](self) and [`SchurKernel`].
 ///
 /// # Example
 ///
@@ -38,12 +81,70 @@ use crate::{Error, Result};
 pub struct DiagPlusLowRank {
     /// The coupling matrix `U` (p × n).
     u: CscMatrix,
+    /// The kernel the caller asked for.
+    requested: SchurKernel,
+    /// Elimination plan — `Some` exactly when the blocked kernel is active.
+    plan: Option<BlockedPlan>,
+    /// Worker-thread target for the blocked elimination (1 = sequential).
+    threads: usize,
 }
 
 impl DiagPlusLowRank {
-    /// Wraps a fixed coupling matrix `U` (p × n).
+    /// Wraps a fixed coupling matrix `U` (p × n) with [`SchurKernel::Auto`]
+    /// kernel selection.
     pub fn new(u: CscMatrix) -> Self {
-        DiagPlusLowRank { u }
+        Self::with_kernel(u, SchurKernel::Auto)
+    }
+
+    /// Wraps `U` with an explicit kernel choice. The structure analysis for
+    /// the blocked kernel runs once, here; per-solve work is pattern-reuse.
+    pub fn with_kernel(u: CscMatrix, kernel: SchurKernel) -> Self {
+        let plan = match kernel {
+            SchurKernel::Dense => None,
+            SchurKernel::Blocked => Some(BlockedPlan::detect(&u)),
+            SchurKernel::Auto => {
+                let plan = BlockedPlan::detect(&u);
+                let (locals, coupling) = (plan.locals.len(), plan.coupling.len());
+                (locals >= AUTO_MIN_LOCAL_ROWS && coupling <= locals).then_some(plan)
+            }
+        };
+        DiagPlusLowRank {
+            u,
+            requested: kernel,
+            plan,
+            threads: 1,
+        }
+    }
+
+    /// The kernel the caller requested (possibly [`SchurKernel::Auto`]).
+    pub fn kernel(&self) -> SchurKernel {
+        self.requested
+    }
+
+    /// The kernel actually in use after auto-resolution: either
+    /// [`SchurKernel::Dense`] or [`SchurKernel::Blocked`].
+    pub fn resolved_kernel(&self) -> SchurKernel {
+        if self.plan.is_some() {
+            SchurKernel::Blocked
+        } else {
+            SchurKernel::Dense
+        }
+    }
+
+    /// Sets the worker-thread target for the blocked elimination. Extra
+    /// workers beyond the calling thread are leased per solve from the
+    /// process-global [`WorkerBudget`] — a drained budget degrades to the
+    /// sequential path. `threads <= 1` (the default) never spawns and the
+    /// steady-state solve stays allocation-free; with more workers the
+    /// merge order of floating-point partial sums depends on the worker
+    /// count, so results may differ from the sequential path by round-off.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread target.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of coupling rows `p`.
@@ -81,7 +182,8 @@ impl DiagPlusLowRank {
     /// intermediate: the active-row scratch, the Gram accumulation matrix,
     /// and the dense Cholesky storage. After the workspace has warmed up
     /// (first call at a given active-row count), repeat solves perform no
-    /// heap allocation.
+    /// heap allocation — on either kernel, provided the blocked kernel runs
+    /// sequentially (`threads <= 1`).
     ///
     /// # Errors
     ///
@@ -107,10 +209,40 @@ impl DiagPlusLowRank {
         assert_eq!(dx.len(), n, "solution length mismatch");
         assert!(d.iter().all(|&v| v > 0.0), "D must be positive");
 
+        match &self.plan {
+            Some(plan) => {
+                let workers = if self.threads > 1 {
+                    let permits = WorkerBudget::global().acquire(self.threads - 1);
+                    1 + permits.count()
+                    // permits drop here; the lease only needs to cover the
+                    // sizing decision — workers spawn and join inside the
+                    // solve, and a slight overlap with a concurrent lease
+                    // is harmless by design (budget is advisory).
+                } else {
+                    1
+                };
+                self.solve_blocked(plan, d, e, r, ws, dx, workers)
+            }
+            None => self.solve_dense(d, e, r, ws, dx),
+        }
+    }
+
+    /// The original dense-Woodbury path: full `q × q` Schur complement over
+    /// the active rows, one dense Cholesky.
+    fn solve_dense(
+        &self,
+        d: &[f64],
+        e: &[f64],
+        r: &[f64],
+        ws: &mut DiagPlusLowRankWorkspace,
+        dx: &mut [f64],
+    ) -> Result<()> {
+        let n = self.dim();
+        let p = self.rank();
         // Active rows: E_i > 0 (denormals excluded — their reciprocal
         // overflows to infinity and poisons the Schur complement).
         ws.active.clear();
-        ws.active.extend((0..p).filter(|&i| e[i] > 1e-300));
+        ws.active.extend((0..p).filter(|&i| e[i] > ACTIVE_EPS));
         ws.z.resize(n, 0.0);
         for k in 0..n {
             ws.z[k] = r[k] / d[k];
@@ -156,33 +288,7 @@ impl DiagPlusLowRank {
                 }
             }
         }
-        // The Schur complement is PSD in exact arithmetic; with extreme
-        // barrier weights it can lose definiteness to round-off. Retry with
-        // an escalating ridge before giving up. The factorization works on
-        // `ws.l`, re-copied from the untouched `ws.s` per attempt.
-        {
-            let mut ridge = 0.0f64;
-            let base: f64 = (0..q).map(|i| ws.s.get(i, i)).fold(1e-300, f64::max);
-            loop {
-                ws.l.copy_values_from(&ws.s);
-                if ridge > 0.0 {
-                    for i in 0..q {
-                        ws.l.add(i, i, ridge);
-                    }
-                }
-                match ws.l.cholesky_in_place() {
-                    Ok(()) => break,
-                    Err(_) if ridge < base * 1e-2 => {
-                        ridge = if ridge == 0.0 { base * 1e-12 } else { ridge * 100.0 };
-                    }
-                    Err(_) => {
-                        return Err(Error::Numerical(
-                            "Schur complement not positive definite".into(),
-                        ))
-                    }
-                }
-            }
-        }
+        ws.factor_with_ridge(q)?;
 
         // t = U z restricted to active rows, solved against the factor.
         ws.uz.resize(p, 0.0);
@@ -196,24 +302,377 @@ impl DiagPlusLowRank {
         for (qi, &i) in ws.active.iter().enumerate() {
             ws.w[i] = ws.wq[qi];
         }
-        // dx = z − D⁻¹ Uᵀ w.
+        self.apply_correction(d, ws, dx);
+        Ok(())
+    }
+
+    /// The blocked nested-Schur path: eliminate every active local row in
+    /// closed form (each a rank-1 downdate of the coupling Gram), factor
+    /// only the small coupling block, back-substitute.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_blocked(
+        &self,
+        plan: &BlockedPlan,
+        d: &[f64],
+        e: &[f64],
+        r: &[f64],
+        ws: &mut DiagPlusLowRankWorkspace,
+        dx: &mut [f64],
+        workers: usize,
+    ) -> Result<()> {
+        let n = self.dim();
+        let p = self.rank();
+        ws.z.resize(n, 0.0);
+        for k in 0..n {
+            ws.z[k] = r[k] / d[k];
+        }
+        ws.uz.resize(p, 0.0);
+        self.u.mul_vec_into(&ws.z, &mut ws.uz);
+
+        // Active coupling rows, with a row → active-index map.
+        ws.active.clear();
+        ws.active
+            .extend(plan.coupling.iter().copied().filter(|&i| e[i] > ACTIVE_EPS));
+        ws.row_of.clear();
+        ws.row_of.resize(p, usize::MAX);
+        for (ci, &i) in ws.active.iter().enumerate() {
+            ws.row_of[i] = ci;
+        }
+        let qc = ws.active.len();
+        let nl = plan.locals.len();
+
+        // Per-worker scratch (persisted in the workspace across solves).
+        let workers = workers.clamp(1, nl.max(1));
+        if ws.workers.len() < workers {
+            ws.workers.resize_with(workers, WorkerScratch::default);
+        }
+        for scratch in ws.workers[..workers].iter_mut() {
+            scratch.cmat.resize_reset(qc, qc);
+            scratch.radj.clear();
+            scratch.radj.resize(qc, 0.0);
+        }
+        ws.sdd.clear();
+        ws.sdd.resize(nl, 0.0);
+        ws.sdc.clear();
+        ws.sdc.resize(nl * qc, 0.0);
+
+        let job = EliminationJob {
+            plan,
+            u: &self.u,
+            d,
+            e,
+            uz: &ws.uz,
+            coupling_of: &ws.row_of,
+            qc,
+        };
+        if workers <= 1 {
+            eliminate_local_rows(&job, 0, &mut ws.sdd, &mut ws.sdc, &mut ws.workers[0]);
+        } else {
+            let chunk = nl.div_ceil(workers);
+            let (first, rest) = ws.workers.split_at_mut(1);
+            let (sdd0, sdd_rest) = ws.sdd.split_at_mut(chunk.min(nl));
+            let (sdc0, sdc_rest) = ws.sdc.split_at_mut(chunk.min(nl) * qc);
+            let job_ref = &job;
+            std::thread::scope(|scope| {
+                let mut lo = chunk.min(nl);
+                let mut sdd_rest = sdd_rest;
+                let mut sdc_rest = sdc_rest;
+                for scratch in rest[..workers - 1].iter_mut() {
+                    let take = chunk.min(sdd_rest.len());
+                    if take == 0 {
+                        break;
+                    }
+                    let (sdd_c, tail) = sdd_rest.split_at_mut(take);
+                    sdd_rest = tail;
+                    let (sdc_c, tail) = sdc_rest.split_at_mut(take * qc);
+                    sdc_rest = tail;
+                    let my_lo = lo;
+                    lo += take;
+                    scope.spawn(move || {
+                        eliminate_local_rows(job_ref, my_lo, sdd_c, sdc_c, scratch)
+                    });
+                }
+                // The calling thread is the first worker.
+                eliminate_local_rows(job_ref, 0, sdd0, sdc0, &mut first[0]);
+            });
+        }
+
+        // Assemble the coupling system: S_cc = E_c⁻¹ + (coupling Gram)
+        // − Σ_j sdc_j sdc_jᵀ / sdd_j, rhs t_c = (Uz)_c − Σ_j sdc_j uz_j/sdd_j.
+        // Lower triangle only — the Cholesky reads nothing else.
+        ws.s.resize_reset(qc, qc);
+        for (ci, &i) in ws.active.iter().enumerate() {
+            ws.s.set(ci, ci, 1.0 / e[i]);
+        }
+        ws.wq.clear();
+        ws.wq.extend(ws.active.iter().map(|&i| ws.uz[i]));
+        for scratch in &ws.workers[..workers] {
+            ws.s.add_from(&scratch.cmat);
+            for (ci, &v) in scratch.radj.iter().enumerate() {
+                ws.wq[ci] -= v;
+            }
+        }
+        // Columns owned by no local row contribute coupling-Gram pairs too.
+        {
+            let scratch = &mut ws.workers[0];
+            for &k in &plan.free_cols {
+                let (rows, vals) = self.u.col(k);
+                let dk_inv = 1.0 / d[k];
+                scratch.col_ci.clear();
+                scratch.col_cv.clear();
+                for (idx, &rr) in rows.iter().enumerate() {
+                    let ci = ws.row_of[rr];
+                    if ci != usize::MAX {
+                        scratch.col_ci.push(ci);
+                        scratch.col_cv.push(vals[idx]);
+                    }
+                }
+                for a in 0..scratch.col_ci.len() {
+                    let va = scratch.col_cv[a] * dk_inv;
+                    let ca = scratch.col_ci[a];
+                    for b in a..scratch.col_ci.len() {
+                        ws.s.add(scratch.col_ci[b], ca, va * scratch.col_cv[b]);
+                    }
+                }
+            }
+        }
+
+        if qc > 0 {
+            ws.factor_with_ridge(qc)?;
+            ws.l.chol_solve_in_place(&mut ws.wq);
+        }
+
+        // Back-substitute: coupling rows from the small solve, active local
+        // rows in closed form, inactive rows zero.
+        ws.w.clear();
+        ws.w.resize(p, 0.0);
+        for (ci, &i) in ws.active.iter().enumerate() {
+            ws.w[i] = ws.wq[ci];
+        }
+        for (jl, &row) in plan.locals.iter().enumerate() {
+            if e[row] > ACTIVE_EPS {
+                let sdc_j = &ws.sdc[jl * qc..(jl + 1) * qc];
+                let dot: f64 = sdc_j.iter().zip(&ws.wq).map(|(a, b)| a * b).sum();
+                ws.w[row] = (ws.uz[row] - dot) / ws.sdd[jl];
+            }
+        }
+        self.apply_correction(d, ws, dx);
+        Ok(())
+    }
+
+    /// Shared tail of both kernels: `dx = z − D⁻¹ Uᵀ w`.
+    fn apply_correction(&self, d: &[f64], ws: &mut DiagPlusLowRankWorkspace, dx: &mut [f64]) {
+        let n = self.dim();
         ws.utw.resize(n, 0.0);
         self.u.mul_transpose_vec_into(&ws.w, &mut ws.utw);
         for k in 0..n {
             dx[k] = ws.z[k] - ws.utw[k] / d[k];
         }
-        Ok(())
+    }
+}
+
+/// Structure analysis for the blocked kernel, computed once per coupling
+/// matrix: which rows are "local" (pairwise-disjoint column supports —
+/// eliminable in closed form) and which remain in the small coupling block.
+///
+/// Detection is greedy over rows in ascending-sparsity order: a row becomes
+/// local if none of its columns are owned by an earlier local row. For ℙ₂
+/// this selects exactly the `J` per-user demand rows (each owning user j's
+/// `I` columns) and leaves the group/capacity rows — which touch every
+/// user — as coupling.
+#[derive(Debug, Clone)]
+struct BlockedPlan {
+    /// Local rows, ascending by row index.
+    locals: Vec<usize>,
+    /// Coupling rows, ascending by row index.
+    coupling: Vec<usize>,
+    /// Per-local-row extent into `lcols`/`lvals` (`locals.len() + 1`).
+    lptr: Vec<usize>,
+    /// Columns owned by each local row, user-major flat layout.
+    lcols: Vec<usize>,
+    /// `U[row, col]` for each owned column, aligned with `lcols`.
+    lvals: Vec<f64>,
+    /// Columns owned by no local row.
+    free_cols: Vec<usize>,
+}
+
+impl BlockedPlan {
+    fn detect(u: &CscMatrix) -> BlockedPlan {
+        let p = u.nrows();
+        let n = u.ncols();
+        // Row-major copy of the pattern via counting sort.
+        let counts = u.row_counts();
+        let mut rptr = vec![0usize; p + 1];
+        for i in 0..p {
+            rptr[i + 1] = rptr[i] + counts[i];
+        }
+        let mut rcols = vec![0usize; u.nnz()];
+        let mut rvals = vec![0f64; u.nnz()];
+        let mut cursor = rptr.clone();
+        for k in 0..n {
+            let (rows, vals) = u.col(k);
+            for (idx, &rr) in rows.iter().enumerate() {
+                rcols[cursor[rr]] = k;
+                rvals[cursor[rr]] = vals[idx];
+                cursor[rr] += 1;
+            }
+        }
+        // Greedy: sparse rows claim columns first (ties broken by row index
+        // for determinism), so the J thin demand rows beat the wide
+        // group/capacity rows.
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by_key(|&i| (counts[i], i));
+        let mut owner = vec![usize::MAX; n];
+        let mut is_local = vec![false; p];
+        for &i in &order {
+            let cols = &rcols[rptr[i]..rptr[i + 1]];
+            if cols.iter().all(|&k| owner[k] == usize::MAX) {
+                for &k in cols {
+                    owner[k] = i;
+                }
+                is_local[i] = true;
+            }
+        }
+        let locals: Vec<usize> = (0..p).filter(|&i| is_local[i]).collect();
+        let coupling: Vec<usize> = (0..p).filter(|&i| !is_local[i]).collect();
+        let mut lptr = Vec::with_capacity(locals.len() + 1);
+        let mut lcols = Vec::new();
+        let mut lvals = Vec::new();
+        lptr.push(0);
+        for &i in &locals {
+            lcols.extend_from_slice(&rcols[rptr[i]..rptr[i + 1]]);
+            lvals.extend_from_slice(&rvals[rptr[i]..rptr[i + 1]]);
+            lptr.push(lcols.len());
+        }
+        let free_cols: Vec<usize> = (0..n).filter(|&k| owner[k] == usize::MAX).collect();
+        BlockedPlan {
+            locals,
+            coupling,
+            lptr,
+            lcols,
+            lvals,
+            free_cols,
+        }
+    }
+}
+
+/// Read-only inputs shared by every elimination worker.
+struct EliminationJob<'a> {
+    plan: &'a BlockedPlan,
+    u: &'a CscMatrix,
+    d: &'a [f64],
+    e: &'a [f64],
+    uz: &'a [f64],
+    /// Row index → active-coupling index (`usize::MAX` elsewhere).
+    coupling_of: &'a [usize],
+    qc: usize,
+}
+
+/// Per-worker mutable scratch, persisted across solves in the workspace so
+/// the sequential steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct WorkerScratch {
+    /// Partial coupling Gram + downdates (lower triangle, qc × qc).
+    cmat: DenseMatrix,
+    /// Partial rhs adjustment Σ_j sdc_j · uz_j / sdd_j.
+    radj: Vec<f64>,
+    /// Active-coupling indices of the current column's entries.
+    col_ci: Vec<usize>,
+    /// Matching raw values.
+    col_cv: Vec<f64>,
+}
+
+/// Eliminates the local rows `lo .. lo + sdd.len()` (indices into
+/// `plan.locals`): accumulates each owned column's coupling-Gram pairs, the
+/// row's pivot `sdd_j = 1/e_j + Σ_k u_jk²/d_k`, and its coupling border
+/// `sdc_j[c] = Σ_k u_jk u_ck/d_k`, then applies the rank-1 downdate
+/// `cmat −= sdc_j sdc_jᵀ / sdd_j` and the rhs adjustment. Inactive local
+/// rows skip elimination but still walk their columns — every column must
+/// feed the coupling Gram exactly once.
+fn eliminate_local_rows(
+    job: &EliminationJob<'_>,
+    lo: usize,
+    sdd: &mut [f64],
+    sdc: &mut [f64],
+    scratch: &mut WorkerScratch,
+) {
+    let qc = job.qc;
+    let WorkerScratch {
+        cmat,
+        radj,
+        col_ci,
+        col_cv,
+    } = scratch;
+    for (off, sdd_slot) in sdd.iter_mut().enumerate() {
+        let jl = lo + off;
+        let row = job.plan.locals[jl];
+        let span = job.plan.lptr[jl]..job.plan.lptr[jl + 1];
+        let cols = &job.plan.lcols[span.clone()];
+        let vals = &job.plan.lvals[span];
+        let active = job.e[row] > ACTIVE_EPS;
+        let sdc_j = &mut sdc[off * qc..(off + 1) * qc];
+        sdc_j.fill(0.0);
+        let mut pivot = if active { 1.0 / job.e[row] } else { 0.0 };
+        for (&k, &ujk) in cols.iter().zip(vals) {
+            let dk_inv = 1.0 / job.d[k];
+            let (rows, colvals) = job.u.col(k);
+            col_ci.clear();
+            col_cv.clear();
+            for (idx, &rr) in rows.iter().enumerate() {
+                let ci = job.coupling_of[rr];
+                if ci != usize::MAX {
+                    col_ci.push(ci);
+                    col_cv.push(colvals[idx]);
+                }
+            }
+            // Coupling-coupling Gram pairs of this column (lower triangle;
+            // within-column row order is ascending, so ci is too).
+            for a in 0..col_ci.len() {
+                let va = col_cv[a] * dk_inv;
+                let ca = col_ci[a];
+                for b in a..col_ci.len() {
+                    cmat.add(col_ci[b], ca, va * col_cv[b]);
+                }
+            }
+            if active {
+                let uj = ujk * dk_inv;
+                pivot += uj * ujk;
+                for (idx, &ci) in col_ci.iter().enumerate() {
+                    sdc_j[ci] += uj * col_cv[idx];
+                }
+            }
+        }
+        *sdd_slot = pivot;
+        if active {
+            // Closed-form elimination of row `row`: rank-1 downdate of the
+            // coupling block and the matching rhs adjustment.
+            let scale = job.uz[row] / pivot;
+            for a in 0..qc {
+                let sa = sdc_j[a];
+                if sa == 0.0 {
+                    continue;
+                }
+                let fa = sa / pivot;
+                for b in a..qc {
+                    cmat.add(b, a, -(fa * sdc_j[b]));
+                }
+                radj[a] += sa * scale;
+            }
+        }
     }
 }
 
 /// Reusable scratch for [`DiagPlusLowRank::solve_into`]: active-row
-/// bookkeeping, the Gram accumulation matrix `S`, and the dense Cholesky
-/// factor storage. Create once (per solver or per horizon) and reuse across
-/// Newton steps *and* across successive solves — the buffers keep their
-/// capacity, so steady-state solves allocate nothing.
+/// bookkeeping, the Gram accumulation matrix `S`, the dense Cholesky factor
+/// storage, and (for the blocked kernel) the per-local-row pivots/borders
+/// and per-worker partial accumulators. Create once (per solver or per
+/// horizon) and reuse across Newton steps *and* across successive solves —
+/// the buffers keep their capacity, so steady-state solves allocate nothing.
 #[derive(Debug, Clone, Default)]
 pub struct DiagPlusLowRankWorkspace {
+    /// Active rows (dense kernel: all rows; blocked kernel: coupling rows).
     active: Vec<usize>,
+    /// Row index → active index (`usize::MAX` elsewhere).
     row_of: Vec<usize>,
     z: Vec<f64>,
     s: DenseMatrix,
@@ -222,6 +681,12 @@ pub struct DiagPlusLowRankWorkspace {
     wq: Vec<f64>,
     w: Vec<f64>,
     utw: Vec<f64>,
+    /// Blocked kernel: pivot `sdd_j` per local row (0 when inactive).
+    sdd: Vec<f64>,
+    /// Blocked kernel: borders `sdc_j`, flat `locals × qc`.
+    sdc: Vec<f64>,
+    /// Blocked kernel: per-worker partial accumulators.
+    workers: Vec<WorkerScratch>,
 }
 
 impl DiagPlusLowRankWorkspace {
@@ -230,6 +695,10 @@ impl DiagPlusLowRankWorkspace {
     pub fn for_solver(solver: &DiagPlusLowRank) -> Self {
         let n = solver.dim();
         let p = solver.rank();
+        let (qc, nl) = match &solver.plan {
+            Some(plan) => (plan.coupling.len(), plan.locals.len()),
+            None => (0, 0),
+        };
         DiagPlusLowRankWorkspace {
             active: Vec::with_capacity(p),
             row_of: vec![usize::MAX; p],
@@ -240,6 +709,51 @@ impl DiagPlusLowRankWorkspace {
             wq: Vec::with_capacity(p),
             w: vec![0.0; p],
             utw: vec![0.0; n],
+            sdd: vec![0.0; nl],
+            sdc: vec![0.0; nl * qc],
+            workers: if solver.plan.is_some() {
+                let mut scratch = WorkerScratch::default();
+                scratch.cmat.resize_reset(qc, qc);
+                scratch.radj = vec![0.0; qc];
+                scratch.col_ci = Vec::with_capacity(p);
+                scratch.col_cv = Vec::with_capacity(p);
+                vec![scratch]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Ridge-retry Cholesky: factor the leading `q × q` of `s` into `l`.
+    /// The Schur complement is PSD in exact arithmetic; with extreme
+    /// barrier weights it can lose definiteness to round-off, so retry
+    /// with an escalating ridge before giving up. The factorization works
+    /// on `l`, re-copied from the untouched `s` per attempt.
+    fn factor_with_ridge(&mut self, q: usize) -> Result<()> {
+        let mut ridge = 0.0f64;
+        let base: f64 = (0..q).map(|i| self.s.get(i, i)).fold(1e-300, f64::max);
+        loop {
+            self.l.copy_values_from(&self.s);
+            if ridge > 0.0 {
+                for i in 0..q {
+                    self.l.add(i, i, ridge);
+                }
+            }
+            match self.l.cholesky_in_place() {
+                Ok(()) => return Ok(()),
+                Err(_) if ridge < base * 1e-2 => {
+                    ridge = if ridge == 0.0 {
+                        base * 1e-12
+                    } else {
+                        ridge * 100.0
+                    };
+                }
+                Err(_) => {
+                    return Err(Error::Numerical(
+                        "Schur complement not positive definite".into(),
+                    ))
+                }
+            }
         }
     }
 }
@@ -266,6 +780,24 @@ mod tests {
             }
         }
         m.lu().unwrap().solve(r)
+    }
+
+    /// An arrow-structured coupling: `users` local rows of `width` disjoint
+    /// columns each, plus `coup` rows touching every column.
+    fn arrow_u(users: usize, width: usize, coup: usize) -> CscMatrix {
+        let n = users * width;
+        let mut t = Triplets::new(users + coup, n);
+        for j in 0..users {
+            for w in 0..width {
+                t.push(j, j * width + w, 1.0 + 0.1 * (w as f64) + 0.01 * (j as f64));
+            }
+        }
+        for c in 0..coup {
+            for k in 0..n {
+                t.push(users + c, k, 0.5 + 0.05 * ((c + k) % 7) as f64);
+            }
+        }
+        t.to_csc()
     }
 
     #[test]
@@ -354,5 +886,151 @@ mod tests {
         let solver = DiagPlusLowRank::new(t.to_csc());
         let x = solver.solve(&[4.0, 2.0], &[0.0], &[8.0, 8.0]).unwrap();
         assert_eq!(x, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn plan_detection_finds_arrow_structure() {
+        let u = arrow_u(6, 3, 2);
+        let plan = BlockedPlan::detect(&u);
+        assert_eq!(plan.locals, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(plan.coupling, vec![6, 7]);
+        assert!(plan.free_cols.is_empty());
+        for j in 0..6 {
+            let cols = &plan.lcols[plan.lptr[j]..plan.lptr[j + 1]];
+            assert_eq!(cols, &[j * 3, j * 3 + 1, j * 3 + 2]);
+        }
+    }
+
+    #[test]
+    fn auto_keeps_dense_for_small_and_switches_for_large() {
+        let small = DiagPlusLowRank::new(arrow_u(6, 3, 2));
+        assert_eq!(small.resolved_kernel(), SchurKernel::Dense);
+        let large = DiagPlusLowRank::new(arrow_u(64, 3, 2));
+        assert_eq!(large.resolved_kernel(), SchurKernel::Blocked);
+        let forced = DiagPlusLowRank::with_kernel(arrow_u(6, 3, 2), SchurKernel::Blocked);
+        assert_eq!(forced.resolved_kernel(), SchurKernel::Blocked);
+    }
+
+    #[test]
+    fn blocked_matches_dense_on_arrow_systems() {
+        for (users, width, coup) in [(5, 3, 2), (9, 2, 3), (12, 4, 1)] {
+            let u = arrow_u(users, width, coup);
+            let n = u.ncols();
+            let p = u.nrows();
+            let d: Vec<f64> = (0..n).map(|k| 0.5 + (k % 9) as f64 * 0.3).collect();
+            let mut e: Vec<f64> = (0..p).map(|i| 0.2 + (i % 5) as f64 * 0.7).collect();
+            // A degenerate (inactive) local row and coupling row.
+            e[1] = 0.0;
+            if coup > 1 {
+                e[users + 1] = 0.0;
+            }
+            let r: Vec<f64> = (0..n).map(|k| ((k as f64) * 0.37).sin()).collect();
+            let blocked = DiagPlusLowRank::with_kernel(u.clone(), SchurKernel::Blocked);
+            let dense = DiagPlusLowRank::with_kernel(u.clone(), SchurKernel::Dense);
+            let xb = blocked.solve(&d, &e, &r).unwrap();
+            let xd = dense.solve(&d, &e, &r).unwrap();
+            let xref = dense_solve(&u, &d, &e, &r);
+            for k in 0..n {
+                assert!(
+                    (xb[k] - xd[k]).abs() < 1e-10,
+                    "blocked vs dense at {k}: {} vs {}",
+                    xb[k],
+                    xd[k]
+                );
+                assert!((xb[k] - xref[k]).abs() < 1e-8, "blocked vs LU at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_handles_non_arrow_patterns() {
+        // Overlapping rows: only a subset ends up local; result must still
+        // match the dense kernel.
+        let mut t = Triplets::new(4, 6);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 1, 1.5); // overlaps row 0 → one of them stays coupling
+        t.push(1, 2, 1.0);
+        t.push(2, 3, 1.0);
+        t.push(2, 4, -1.0);
+        t.push(3, 0, 0.3);
+        t.push(3, 5, 0.7); // column 5 otherwise untouched
+        let u = t.to_csc();
+        let d = [1.0, 2.0, 1.5, 3.0, 2.5, 1.0];
+        let e = [1.0, 2.0, 0.5, 1.5];
+        let r = [1.0, -2.0, 0.5, 3.0, -1.0, 2.0];
+        let blocked = DiagPlusLowRank::with_kernel(u.clone(), SchurKernel::Blocked);
+        let xb = blocked.solve(&d, &e, &r).unwrap();
+        let xref = dense_solve(&u, &d, &e, &r);
+        for k in 0..6 {
+            assert!((xb[k] - xref[k]).abs() < 1e-9, "{xb:?} vs {xref:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_all_rows_inactive_is_pure_diagonal() {
+        let u = arrow_u(4, 2, 1);
+        let solver = DiagPlusLowRank::with_kernel(u, SchurKernel::Blocked);
+        let d = vec![2.0; 8];
+        let e = vec![0.0; 5];
+        let r = vec![4.0; 8];
+        let x = solver.solve(&d, &e, &r).unwrap();
+        assert_eq!(x, vec![2.0; 8]);
+    }
+
+    #[test]
+    fn blocked_parallel_workers_match_sequential() {
+        let u = arrow_u(23, 3, 3);
+        let n = u.ncols();
+        let p = u.nrows();
+        let d: Vec<f64> = (0..n).map(|k| 1.0 + (k % 4) as f64).collect();
+        let mut e: Vec<f64> = (0..p).map(|i| 0.5 + (i % 3) as f64).collect();
+        e[7] = 0.0;
+        let r: Vec<f64> = (0..n).map(|k| (k as f64 * 0.11).cos()).collect();
+        let solver = DiagPlusLowRank::with_kernel(u.clone(), SchurKernel::Blocked);
+        let plan = solver.plan.as_ref().unwrap();
+        let mut seq = vec![0.0; n];
+        let mut par = vec![0.0; n];
+        let mut ws = DiagPlusLowRankWorkspace::for_solver(&solver);
+        solver
+            .solve_blocked(plan, &d, &e, &r, &mut ws, &mut seq, 1)
+            .unwrap();
+        for workers in [2, 4, 7] {
+            let mut wsp = DiagPlusLowRankWorkspace::for_solver(&solver);
+            solver
+                .solve_blocked(plan, &d, &e, &r, &mut wsp, &mut par, workers)
+                .unwrap();
+            for k in 0..n {
+                assert!(
+                    (seq[k] - par[k]).abs() < 1e-12,
+                    "workers={workers} at {k}: {} vs {}",
+                    seq[k],
+                    par[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_reused_workspace_matches_fresh() {
+        let u = arrow_u(10, 3, 2);
+        let solver = DiagPlusLowRank::with_kernel(u, SchurKernel::Blocked);
+        let n = solver.dim();
+        let p = solver.rank();
+        let mut ws = DiagPlusLowRankWorkspace::for_solver(&solver);
+        let mut dx = vec![0.0; n];
+        for round in 0..3 {
+            let d: Vec<f64> = (0..n).map(|k| 1.0 + ((k + round) % 5) as f64).collect();
+            let mut e: Vec<f64> = (0..p).map(|i| 0.1 + (i % 4) as f64).collect();
+            if round == 1 {
+                e[3] = 0.0; // active set changes between reuses
+            }
+            let r: Vec<f64> = (0..n).map(|k| (k as f64 - 3.0) * 0.25).collect();
+            solver.solve_into(&d, &e, &r, &mut ws, &mut dx).unwrap();
+            let fresh = solver.solve(&d, &e, &r).unwrap();
+            for k in 0..n {
+                assert!((dx[k] - fresh[k]).abs() < 1e-14);
+            }
+        }
     }
 }

@@ -1,4 +1,13 @@
 //! Separable convex objectives with group (aggregate) terms.
+//!
+//! The split matters to the Newton solver: per-variable terms contribute
+//! only to the diagonal `D` of the Newton matrix `D + Uᵀ E U`, while each
+//! group term contributes one *coupling row* to `U` (its indicator row)
+//! and one curvature entry to `E`. In ℙ₂ the group rows are wide (one per
+//! cloud, spanning all of that cloud's variables) and therefore always
+//! land in the coupling block of the blocked nested-Schur kernel — only
+//! the thin, pairwise-disjoint constraint rows of `A` are eliminated in
+//! closed form (see `convex::schur` and DESIGN.md §12).
 
 /// A smooth convex scalar term, evaluated on `x > -eps` (all variants are
 /// well-defined for `x ≥ 0`, which the barrier solver maintains).

@@ -20,6 +20,9 @@
 //! * [`resilience`] — retry policies that re-solve with escalating
 //!   relaxations on iteration-limit or numerical breakdown and report what
 //!   happened in a structured [`resilience::SolveReport`].
+//! * [`parallel`] — scoped work-queue parallel maps sized by a shared
+//!   process-global [`parallel::WorkerBudget`], so nested fan-outs (sweep
+//!   points × repetitions × solver threads) never oversubscribe cores.
 //! * [`budget`] — cooperative wall-clock/iteration budgets
 //!   ([`budget::SolveBudget`]) checked at the top of every Newton /
 //!   predictor-corrector iteration, so a hanging solve surrenders at its
@@ -52,6 +55,7 @@ pub mod convex;
 pub mod linalg;
 pub mod lp;
 pub mod model;
+pub mod parallel;
 pub mod resilience;
 pub mod sparse;
 

@@ -120,6 +120,17 @@ impl CscMatrix {
         &mut self.values
     }
 
+    /// Number of stored entries in each row (length `nrows`). One pass over
+    /// the row indices; used to classify row sparsity without materializing
+    /// a row-major copy.
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nrows];
+        for &r in &self.rowind {
+            counts[r] += 1;
+        }
+        counts
+    }
+
     /// The (row indices, values) slices of column `c`.
     ///
     /// # Panics

@@ -8,7 +8,7 @@
 //! parallel tests in other files).
 
 use optim::convex::{
-    BarrierOptions, BarrierSolver, BarrierWorkspace, ScalarTerm, SeparableObjective,
+    BarrierOptions, BarrierSolver, BarrierWorkspace, ScalarTerm, SchurKernel, SeparableObjective,
 };
 use optim::sparse::Triplets;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -42,6 +42,14 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// exercise every branch of the Newton step (groups, active Schur rows,
 /// backtracking).
 fn p2_like(clouds: usize, users: usize) -> (BarrierSolver, Vec<f64>) {
+    p2_like_with_kernel(clouds, users, SchurKernel::Auto)
+}
+
+fn p2_like_with_kernel(
+    clouds: usize,
+    users: usize,
+    kernel: SchurKernel,
+) -> (BarrierSolver, Vec<f64>) {
     let n = clouds * users;
     let mut f = SeparableObjective::new(n);
     for i in 0..clouds {
@@ -83,7 +91,7 @@ fn p2_like(clouds: usize, users: usize) -> (BarrierSolver, Vec<f64>) {
     }
     let mut b = vec![1.0; users];
     b.push(users as f64 * 1.1);
-    let solver = BarrierSolver::new(f, a.to_csc(), b).unwrap();
+    let solver = BarrierSolver::new_with_kernel(f, a.to_csc(), b, kernel).unwrap();
     // Strictly feasible start: spread every demand evenly with headroom.
     let start = vec![1.6 / clouds as f64; n];
     (solver, start)
@@ -140,6 +148,34 @@ fn newton_inner_loop_is_allocation_free() {
         count_tight <= 2 * solution_allocs + 4,
         "allocations grew with solve length ({steps_tight} Newton steps → \
          {count_tight} allocations)"
+    );
+}
+
+#[test]
+fn blocked_kernel_newton_loop_is_allocation_free() {
+    // Large enough that the demand rows form a real local block; the kernel
+    // is forced anyway so the test can't silently regress to dense if the
+    // auto cutover moves.
+    let (solver, start) = p2_like_with_kernel(4, 64, SchurKernel::Blocked);
+    assert_eq!(solver.schur_kernel(), SchurKernel::Blocked);
+    let mut ws = BarrierWorkspace::for_solver(&solver);
+    let opts = BarrierOptions::default();
+    let warm = solver
+        .solve_with_workspace(Some(&start), &opts, &mut ws)
+        .unwrap();
+    assert!(warm.stats.newton_steps > 5, "test program too easy to solve");
+
+    let solution_allocs = 3;
+    let count = allocations_during(|| {
+        let sol = solver
+            .solve_with_workspace(Some(&start), &opts, &mut ws)
+            .unwrap();
+        assert!(sol.stats.newton_steps > 5);
+    });
+    assert!(
+        count <= 2 * solution_allocs + 4,
+        "warmed blocked-kernel solve allocated {count} times — the nested-\
+         Schur elimination is supposed to run entirely out of the workspace"
     );
 }
 

@@ -196,3 +196,65 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked nested-Schur kernel must agree with the dense Woodbury
+    /// kernel on randomized ℙ₂-shaped arrow systems: J disjoint demand rows
+    /// (I strided columns each, mirroring ℙ₂'s cloud-major layout) plus
+    /// group/capacity rows touching every variable, with randomly
+    /// degenerate (zero-curvature) rows in both blocks.
+    #[test]
+    fn blocked_kernel_matches_dense_woodbury(
+        clouds in 2usize..6,
+        users in 3usize..28,
+        raw in proptest::collection::vec(0.05f64..2.5, 256),
+    ) {
+        use optim::convex::SchurKernel;
+        let n = clouds * users;
+        let p = users + clouds + 1;
+        let mut t = Triplets::new(p, n);
+        // Demand rows: user j touches column i·J + j in every cloud i.
+        for j in 0..users {
+            for i in 0..clouds {
+                t.push(j, i * users + j, 0.5 + raw[(i * users + j) % raw.len()]);
+            }
+        }
+        // Group rows: cloud i's J contiguous columns.
+        for i in 0..clouds {
+            for j in 0..users {
+                t.push(users + i, i * users + j, 1.0);
+            }
+        }
+        // One all-ones capacity row.
+        for k in 0..n {
+            t.push(users + clouds, k, 1.0);
+        }
+        let u = t.to_csc();
+        let d: Vec<f64> = (0..n).map(|k| 0.01 + raw[(k * 3 + 1) % raw.len()]).collect();
+        let e: Vec<f64> = (0..p)
+            .map(|i| {
+                // ~20% of rows degenerate (zero curvature → inactive).
+                if raw[(i * 11 + 4) % raw.len()] < 0.5 {
+                    0.0
+                } else {
+                    0.02 + raw[(i * 5 + 2) % raw.len()]
+                }
+            })
+            .collect();
+        let r: Vec<f64> = (0..n).map(|k| raw[(k * 7 + 3) % raw.len()] - 1.25).collect();
+        let blocked = DiagPlusLowRank::with_kernel(u.clone(), SchurKernel::Blocked);
+        let dense = DiagPlusLowRank::with_kernel(u, SchurKernel::Dense);
+        prop_assert_eq!(blocked.resolved_kernel(), SchurKernel::Blocked);
+        let xb = blocked.solve(&d, &e, &r).expect("blocked solves");
+        let xd = dense.solve(&d, &e, &r).expect("dense solves");
+        let scale = xd.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        for k in 0..n {
+            prop_assert!(
+                (xb[k] - xd[k]).abs() <= 1e-10 * scale,
+                "k={k}: blocked {} vs dense {} (scale {scale})", xb[k], xd[k]
+            );
+        }
+    }
+}

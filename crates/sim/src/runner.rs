@@ -4,6 +4,12 @@
 //! one repetition is captured as a [`RepFailure`] instead of tearing down
 //! the whole scenario. [`run_scenario`] errors only when every repetition
 //! failed — partial data with recorded failures beats no data.
+//!
+//! Parallelism is sized by the process-global
+//! [`optim::parallel::WorkerBudget`]: when a sweep harness already fans
+//! scenario *points* across every core, the repetition fan-out inside each
+//! point finds the budget drained and runs inline instead of piling
+//! `points × repetitions` runnable threads onto the scheduler.
 
 use crate::scenario::{MobilityKind, Scenario};
 use edgealloc::algorithms::solve_offline_with;
@@ -13,9 +19,9 @@ use edgealloc::instance::{Instance, SyntheticConfig};
 use edgealloc::ratio::{competitive_ratio, mean_sd};
 use edgealloc::Result;
 use mobility::taxi::TaxiConfig;
+use optim::parallel::{try_parallel_map_budgeted, WorkerBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Results of one algorithm across all repetitions of a scenario.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -221,20 +227,14 @@ fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionRe
     })
 }
 
-/// Renders a panic payload into a readable message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic with non-string payload".to_string()
-    }
-}
-
 /// Runs every repetition of a scenario, in parallel across repetitions, and
 /// aggregates the outcomes. Panics and errors inside a repetition are
 /// captured as [`RepFailure`]s; surviving repetitions still report.
+///
+/// Worker threads are leased from the process-global [`WorkerBudget`]: the
+/// fan-out uses at most as many extra workers as the machine has spare
+/// cores *right now*, so nesting under a sweep harness cannot oversubscribe
+/// (a drained budget degrades to an inline loop with identical results).
 ///
 /// # Errors
 ///
@@ -242,25 +242,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
     let reps = scenario.repetitions.max(1);
     type RepSlot = std::result::Result<RepetitionReport, String>;
-    let mut per_rep: Vec<Option<RepSlot>> = (0..reps).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (r, slot) in per_rep.iter_mut().enumerate() {
-            handles.push(scope.spawn(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| run_repetition(scenario, r)));
-                *slot = Some(match outcome {
-                    Ok(Ok(report)) => Ok(report),
-                    Ok(Err(err)) => Err(err.to_string()),
-                    Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
-                });
-            }));
-        }
-        for h in handles {
-            // The closure catches panics, so a join failure can only come
-            // from the runtime itself — nothing to salvage then.
-            h.join().expect("repetition thread infrastructure failed");
-        }
-    });
+    let rep_ids: Vec<usize> = (0..reps).collect();
+    // The budgeted map's own Err layer captures panics; the inner Result
+    // carries a repetition's solver error. Flatten both into one message so
+    // failure accounting below stays uniform.
+    let per_rep: Vec<RepSlot> =
+        try_parallel_map_budgeted(&rep_ids, reps, WorkerBudget::global(), |&r| {
+            run_repetition(scenario, r).map_err(|err| err.to_string())
+        })
+        .into_iter()
+        .map(|outcome| match outcome {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(message)) => Err(message),
+            Err(panic_message) => Err(panic_message),
+        })
+        .collect();
 
     let mut offline_totals = Vec::with_capacity(reps);
     let mut failures = Vec::new();
@@ -276,7 +272,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome> {
         })
         .collect();
     for (r, slot) in per_rep.into_iter().enumerate() {
-        let report = match slot.expect("repetition ran") {
+        let report = match slot {
             Ok(report) => report,
             Err(message) => {
                 failures.push(RepFailure {

@@ -1,0 +1,111 @@
+//! Integration tests for the user-blocked nested-Schur Newton kernel:
+//! forcing [`SchurKernel::Blocked`] through the whole online pipeline must
+//! produce the same trajectories and costs as the dense Woodbury kernel —
+//! including when fault injection forces the degradation ladder through
+//! sanitization, retries, and LP fallbacks mid-horizon.
+//!
+//! Both kernels are *forced* (not `Auto`): at 30 users the automatic
+//! cutover would stay dense, and the point of the test is the arithmetic
+//! equivalence of the two factorization paths, not the cutover heuristic.
+
+use edgealloc::prelude::*;
+use optim::convex::SchurKernel;
+use sim::runner::build_instance;
+use sim::scenario::{MobilityKind, Scenario};
+use sim::{FaultKind, FaultPlan};
+
+/// The ISSUE-mandated shape: a faulted 30-user × 24-slot taxi horizon.
+fn taxi_scenario(faults: FaultPlan) -> Scenario {
+    Scenario {
+        name: "kernel-equivalence".into(),
+        mobility: MobilityKind::Taxi { num_users: 30 },
+        num_slots: 24,
+        repetitions: 1,
+        seed: 11,
+        faults,
+        ..Scenario::default()
+    }
+}
+
+/// Runs one algorithm over `inst` and returns (total cost, per-slot
+/// allocations, health summary).
+fn run(inst: &Instance, alg: &mut OnlineRegularized) -> (f64, Vec<Allocation>, HealthSummary) {
+    let traj = run_online(inst, alg).expect("horizon");
+    let (eval, _) = inst.sanitized();
+    let cost = evaluate_trajectory(&eval, &traj.allocations).total();
+    let health = traj.health_summary();
+    (cost, traj.allocations, health)
+}
+
+fn assert_kernels_equivalent(inst: &Instance) {
+    let (cost_d, allocs_d, health_d) = run(
+        inst,
+        &mut OnlineRegularized::with_defaults().with_schur_kernel(SchurKernel::Dense),
+    );
+    let (cost_b, allocs_b, health_b) = run(
+        inst,
+        &mut OnlineRegularized::with_defaults().with_schur_kernel(SchurKernel::Blocked),
+    );
+
+    let rel = (cost_b - cost_d).abs() / cost_d.abs().max(1e-12);
+    assert!(
+        rel <= 1e-6,
+        "blocked {cost_b} vs dense {cost_d} (relative {rel:.3e})"
+    );
+
+    // Same trajectory, slot by slot: the two kernels factor the same Newton
+    // matrix, so the barrier iterates — and hence the rounded allocations —
+    // must agree to solver tolerance.
+    assert_eq!(allocs_d.len(), allocs_b.len());
+    for (slot, (xd, xb)) in allocs_d.iter().zip(&allocs_b).enumerate() {
+        for i in 0..xd.num_clouds() {
+            for j in 0..xd.num_users() {
+                let (a, b) = (xd.get(i, j), xb.get(i, j));
+                assert!(
+                    (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                    "slot {slot} cloud {i} user {j}: dense {a} vs blocked {b}"
+                );
+            }
+        }
+    }
+
+    // Kernel choice must not change *which* slots degrade or which ladder
+    // rungs run.
+    assert_eq!(health_d.rungs, health_b.rungs);
+    assert_eq!(health_d.degraded_slots, health_b.degraded_slots);
+
+    // And the runs really did exercise different kernels: every
+    // barrier-solved slot of the blocked run reports "blocked", none of the
+    // dense run's do.
+    assert_eq!(health_d.blocked_kernel_slots, 0, "dense run used blocked");
+    assert!(
+        health_b.blocked_kernel_slots > 0,
+        "blocked run never engaged the blocked kernel"
+    );
+}
+
+#[test]
+fn blocked_kernel_matches_dense_on_clean_taxi_horizon() {
+    let inst = build_instance(&taxi_scenario(FaultPlan::none()), 0).expect("instance");
+    assert_kernels_equivalent(&inst);
+}
+
+#[test]
+fn blocked_kernel_matches_dense_under_fault_injection() {
+    // Price corruption mid-horizon plus a dead cloud: sanitization rewrites
+    // slot inputs and the ladder may leave the primary rung — the blocked
+    // elimination must track the dense path through all of it.
+    let plan = FaultPlan {
+        faults: vec![
+            FaultKind::PriceNan { slot: 7, cloud: 1 },
+            FaultKind::PriceSpike {
+                slot: 12,
+                cloud: 0,
+                value: 1e9,
+            },
+            FaultKind::ZeroCapacity { cloud: 2 },
+        ],
+    };
+    let inst = build_instance(&taxi_scenario(plan), 0).expect("instance");
+    assert_kernels_equivalent(&inst);
+}
