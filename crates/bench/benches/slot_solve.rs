@@ -5,7 +5,7 @@
 //! barrier parameter) — the two regimes `OnlineRegularized` alternates
 //! between across a horizon.
 
-use criterion::{criterion_group, criterion_main, black_box, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use edgealloc::prelude::*;
 use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
 use edgealloc::SlotInput;

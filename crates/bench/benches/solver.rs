@@ -98,5 +98,11 @@ fn bench_simplex_vs_ipm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ldl, bench_ordering, bench_ipm, bench_simplex_vs_ipm);
+criterion_group!(
+    benches,
+    bench_ldl,
+    bench_ordering,
+    bench_ipm,
+    bench_simplex_vs_ipm
+);
 criterion_main!(benches);

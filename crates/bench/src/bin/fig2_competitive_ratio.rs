@@ -29,10 +29,7 @@ fn main() {
         AlgorithmKind::Greedy,
         AlgorithmKind::Approx { eps: 0.5 },
     ];
-    let mut series: Vec<Series> = roster
-        .iter()
-        .map(|k| Series::new(k.label()))
-        .collect();
+    let mut series: Vec<Series> = roster.iter().map(|k| Series::new(k.label())).collect();
 
     // Six hourly test cases: 3pm–8pm, fanned across worker threads.
     let cases: Vec<(usize, usize)> = (15..21).enumerate().collect();

@@ -42,21 +42,22 @@ fn main() {
             deadline_tag(deadline)
         );
         let ckpt = resume.map(|p| format!("{p}.{dist_name}"));
-        let outcomes = checkpointed_map(&label, &cases, threads, ckpt.as_deref(), |&(case, hour)| {
-            let scenario = Scenario {
-                name: format!("fig3-{dist_name}-hour-{hour}"),
-                mobility: MobilityKind::Taxi { num_users: users },
-                num_slots: slots,
-                workload: dist,
-                algorithms: roster.clone(),
-                repetitions: reps,
-                seed: seed + 1000 * case as u64,
-                slot_deadline_ms: deadline,
-                ..Scenario::default()
-            };
-            eprintln!("running {} ...", scenario.name);
-            sim::run_scenario(&scenario).expect("scenario")
-        });
+        let outcomes =
+            checkpointed_map(&label, &cases, threads, ckpt.as_deref(), |&(case, hour)| {
+                let scenario = Scenario {
+                    name: format!("fig3-{dist_name}-hour-{hour}"),
+                    mobility: MobilityKind::Taxi { num_users: users },
+                    num_slots: slots,
+                    workload: dist,
+                    algorithms: roster.clone(),
+                    repetitions: reps,
+                    seed: seed + 1000 * case as u64,
+                    slot_deadline_ms: deadline,
+                    ..Scenario::default()
+                };
+                eprintln!("running {} ...", scenario.name);
+                sim::run_scenario(&scenario).expect("scenario")
+            });
         for (&(_, hour), outcome) in cases.iter().zip(&outcomes) {
             for (s, alg) in series.iter_mut().zip(&outcome.algorithms) {
                 s.push_from(hour as f64, &alg.ratios);

@@ -97,7 +97,10 @@ fn main() {
     ];
     let roster: Vec<_> = roster
         .into_iter()
-        .filter(|(name, _)| algs.as_ref().is_none_or(|keep| keep.iter().any(|a| a == name)))
+        .filter(|(name, _)| {
+            algs.as_ref()
+                .is_none_or(|keep| keep.iter().any(|a| a == name))
+        })
         .collect();
     assert!(!roster.is_empty(), "--algs filtered out every algorithm");
     let mut profile = Profile {

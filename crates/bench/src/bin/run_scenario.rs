@@ -1,0 +1,65 @@
+//! CLI driver: run a scenario described by a JSON file (or the default
+//! scenario) and print the ratio table.
+//!
+//! ```bash
+//! # Print the default scenario as a JSON template:
+//! cargo run --release -p bench --bin run_scenario -- --template > my.json
+//! # Edit my.json, then:
+//! cargo run --release -p bench --bin run_scenario -- --config my.json
+//! ```
+//!
+//! Flags (standard `bench::Flags` spelling):
+//!
+//! ```text
+//! --template             print the default scenario JSON and exit
+//! --config FILE          scenario JSON (default: the built-in scenario)
+//! --json OUT             also write the outcome as JSON
+//! --slot-deadline-ms MS  override the scenario's per-slot budget
+//! --shards N             add the sharded solver (online-sharded, N user
+//!                        shards) to the scenario's algorithm roster
+//! ```
+
+use bench::Flags;
+use sim::report::{outcome_json, ratio_table};
+use sim::scenario::{AlgorithmKind, Scenario};
+
+fn main() {
+    let flags = Flags::from_env();
+
+    if flags.bool("template") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Scenario::default()).expect("serialize template")
+        );
+        return;
+    }
+
+    let mut scenario: Scenario = match flags.str("config") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad config {path}: {e}"))
+        }
+        None => Scenario::default(),
+    };
+    if let Some(ms) = flags.opt_f64("slot-deadline-ms") {
+        scenario.slot_deadline_ms = Some(ms);
+    }
+    let shards = flags.usize("shards", 0);
+    if shards > 0 {
+        scenario
+            .algorithms
+            .push(AlgorithmKind::Sharded { eps: 0.5, shards });
+    }
+
+    eprintln!(
+        "running scenario {:?}: {} users, {} slots, {} repetitions",
+        scenario.name,
+        scenario.mobility.num_users(),
+        scenario.num_slots,
+        scenario.repetitions
+    );
+    let outcome = sim::run_scenario(&scenario).expect("scenario failed");
+    println!("{}", ratio_table(&outcome));
+    bench::maybe_write(flags.str("json"), &outcome_json(&outcome));
+}

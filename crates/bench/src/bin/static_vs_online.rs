@@ -37,11 +37,7 @@ fn main() {
     let approx_mean = outcome.algorithms[0].mean_ratio();
     println!("cost multiple vs online-approx (paper: up to 4×):");
     for alg in &outcome.algorithms[1..] {
-        println!(
-            "  {:<22} {:.2}×",
-            alg.name,
-            alg.mean_ratio() / approx_mean
-        );
+        println!("  {:<22} {:.2}×", alg.name, alg.mean_ratio() / approx_mean);
     }
     maybe_write(flags.str("json"), &outcome_json(&outcome));
 }

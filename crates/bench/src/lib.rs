@@ -14,6 +14,8 @@
 //! --resume PATH          crash-safe sweep checkpoint (created if absent,
 //!                        completed points skipped if present)
 //! --slot-deadline-ms MS  per-slot wall-clock budget for the online solves
+//! --shards LIST          user-shard counts for the sharded solver
+//!                        (comma-separated, e.g. 1,4,16)
 //! ```
 //!
 //! Sweep points are independent scenarios (each seeds its own RNG), so the
@@ -50,22 +52,26 @@ impl Flags {
         Self::from_args(&args)
     }
 
-    /// Parses an explicit argument list.
+    /// Parses an explicit argument list. A flag followed by another flag
+    /// (or by nothing) is a bare switch and stores `"true"` — so
+    /// `--template` and `--template true` are equivalent (see
+    /// [`Flags::bool`]).
     ///
     /// # Panics
     ///
-    /// Panics on a dangling flag or a non-flag token.
+    /// Panics on a non-flag token.
     pub fn from_args(args: &[String]) -> Self {
         let mut values = HashMap::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("unexpected argument {key:?}; flags are --key value"));
-            let value = it
-                .next()
-                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
-            values.insert(key.to_string(), value.clone());
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().cloned().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), value);
         }
         Flags { values }
     }
@@ -78,7 +84,10 @@ impl Flags {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -90,7 +99,10 @@ impl Flags {
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -109,9 +121,50 @@ impl Flags {
     ///
     /// Panics if the value does not parse.
     pub fn opt_f64(&self, key: &str) -> Option<f64> {
-        self.values
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+        self.values.get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number"))
+        })
+    }
+
+    /// A boolean switch: `false` when absent, `true` when given bare
+    /// (`--template`) or as `--template true`/`1`; `--template false`/`0`
+    /// turns it back off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not one of `true`/`false`/`1`/`0`.
+    pub fn bool(&self, key: &str) -> bool {
+        match self.values.get(key).map(String::as_str) {
+            None => false,
+            Some("true") | Some("1") => true,
+            Some("false") | Some("0") => false,
+            Some(_) => panic!("--{key} expects true or false"),
+        }
+    }
+
+    /// A comma-separated `usize` list flag with default (e.g.
+    /// `--shards 1,4,16`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element does not parse or the list is empty.
+    pub fn usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => {
+                let list: Vec<usize> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--{key} expects comma-separated integers"))
+                    })
+                    .collect();
+                assert!(!list.is_empty(), "--{key} expects at least one value");
+                list
+            }
+        }
     }
 
     /// An optional string flag.
@@ -142,11 +195,7 @@ pub fn default_threads() -> usize {
 ///
 /// With `threads <= 1` (or a single item) the map runs inline on the
 /// calling thread — with the same per-point isolation.
-pub fn try_parallel_map<T, R, F>(
-    items: &[T],
-    threads: usize,
-    f: F,
-) -> Vec<Result<R, String>>
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
@@ -258,8 +307,8 @@ where
     let Some((_, header_line)) = lines.next() else {
         return Ok(done);
     };
-    let header: CheckpointHeader = serde_json::from_str(header_line)
-        .map_err(|e| format!("line 1: bad header: {e}"))?;
+    let header: CheckpointHeader =
+        serde_json::from_str(header_line).map_err(|e| format!("line 1: bad header: {e}"))?;
     let expected = CheckpointHeader {
         sweep: label.to_string(),
         points,
@@ -537,9 +586,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs a value")]
-    fn dangling_flag_panics() {
-        let _ = flags(&["--users"]);
+    fn bare_switches_and_lists_parse() {
+        let f = flags(&["--template", "--shards", "1,4,16", "--users", "40"]);
+        assert!(f.bool("template"));
+        assert!(!f.bool("resume"));
+        assert_eq!(f.usize_list("shards", &[1]), vec![1, 4, 16]);
+        assert_eq!(f.usize_list("slots", &[2, 3]), vec![2, 3]);
+        assert_eq!(f.usize("users", 10), 40);
+        // A trailing bare flag is a switch too.
+        let tail = flags(&["--users", "7", "--template"]);
+        assert!(tail.bool("template"));
+        assert_eq!(tail.usize("users", 10), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects true or false")]
+    fn bad_bool_panics() {
+        let f = flags(&["--template", "maybe"]);
+        let _ = f.bool("template");
+    }
+
+    #[test]
+    #[should_panic(expected = "comma-separated integers")]
+    fn bad_list_panics() {
+        let f = flags(&["--shards", "1,two"]);
+        let _ = f.usize_list("shards", &[1]);
     }
 
     #[test]

@@ -9,7 +9,16 @@ use std::time::{Duration, Instant};
 
 /// Small-but-real fig2 sweep: 6 points, ~seconds each at this size.
 const SWEEP: &[&str] = &[
-    "--users", "5", "--slots", "3", "--reps", "1", "--threads", "2", "--seed", "99",
+    "--users",
+    "5",
+    "--slots",
+    "3",
+    "--reps",
+    "1",
+    "--threads",
+    "2",
+    "--seed",
+    "99",
 ];
 
 fn fig2(json: &Path, ckpt: &Path) -> Command {
@@ -75,7 +84,11 @@ fn killed_sweep_resumes_to_byte_identical_output() {
     // record, drop the rest and the output JSON.
     let survived = std::fs::read_to_string(&chaos_ckpt).unwrap_or_default();
     if survived.lines().count() >= total_lines {
-        let truncated: String = want_ckpt.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let truncated: String = want_ckpt
+            .lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
         std::fs::write(&chaos_ckpt, truncated).unwrap();
         let _ = std::fs::remove_file(&chaos_json);
     }

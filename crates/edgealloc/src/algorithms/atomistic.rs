@@ -102,13 +102,23 @@ mod tests {
     #[test]
     fn all_atomistic_are_feasible() {
         let inst = small_instance();
-        for alg in [&mut PerfOpt::new() as &mut dyn OnlineAlgorithm,
-                    &mut OperOpt::new(),
-                    &mut StatOpt::new()] {
+        for alg in [
+            &mut PerfOpt::new() as &mut dyn OnlineAlgorithm,
+            &mut OperOpt::new(),
+            &mut StatOpt::new(),
+        ] {
             let traj = run_online(&inst, alg).unwrap();
             for x in &traj.allocations {
-                assert!(x.demand_shortfall(inst.workloads()) < 1e-5, "{}", alg.name());
-                assert!(x.capacity_excess(inst.system().capacities()) < 1e-4, "{}", alg.name());
+                assert!(
+                    x.demand_shortfall(inst.workloads()) < 1e-5,
+                    "{}",
+                    alg.name()
+                );
+                assert!(
+                    x.capacity_excess(inst.system().capacities()) < 1e-4,
+                    "{}",
+                    alg.name()
+                );
             }
         }
     }

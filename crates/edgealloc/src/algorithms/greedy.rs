@@ -97,10 +97,17 @@ mod tests {
         let traj = run_online(&inst, &mut alg).unwrap();
         // Greedy migrates to B at t=1 and back to A at t=2.
         assert!(traj.allocations[0].get(0, 0) > 0.99);
-        assert!(traj.allocations[1].get(1, 0) > 0.99, "{:?}", traj.allocations[1]);
+        assert!(
+            traj.allocations[1].get(1, 0) > 0.99,
+            "{:?}",
+            traj.allocations[1]
+        );
         assert!(traj.allocations[2].get(0, 0) > 0.99);
         let total = cost_without_ramp(&inst, &traj.allocations);
-        assert!((total - 11.5).abs() < 1e-4, "greedy cost {total}, expected 11.5");
+        assert!(
+            (total - 11.5).abs() < 1e-4,
+            "greedy cost {total}, expected 11.5"
+        );
     }
 
     #[test]
@@ -114,6 +121,9 @@ mod tests {
             assert!(traj.allocations[t].get(0, 0) > 0.99, "slot {t}");
         }
         let total = cost_without_ramp(&inst, &traj.allocations);
-        assert!((total - 11.3).abs() < 1e-4, "greedy cost {total}, expected 11.3");
+        assert!(
+            (total - 11.3).abs() < 1e-4,
+            "greedy cost {total}, expected 11.3"
+        );
     }
 }

@@ -163,10 +163,7 @@ impl Trajectory {
 ///
 /// Returns [`crate::Error::Invalid`] only for an empty horizon; solver
 /// failures degrade instead of propagating.
-pub fn run_online<A: OnlineAlgorithm + ?Sized>(
-    inst: &Instance,
-    alg: &mut A,
-) -> Result<Trajectory> {
+pub fn run_online<A: OnlineAlgorithm + ?Sized>(inst: &Instance, alg: &mut A) -> Result<Trajectory> {
     if inst.num_slots() == 0 {
         return Err(crate::Error::Invalid("instance has no slots".into()));
     }

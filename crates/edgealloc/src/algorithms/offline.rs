@@ -77,7 +77,10 @@ mod tests {
         let inst = Instance::fig1_example(2.1, true);
         let off = solve_offline(&inst).unwrap();
         let total = cost_without_ramp(&inst, &off.allocations);
-        assert!((total - 9.6).abs() < 1e-4, "offline cost {total}, expected 9.6");
+        assert!(
+            (total - 9.6).abs() < 1e-4,
+            "offline cost {total}, expected 9.6"
+        );
     }
 
     #[test]
@@ -90,7 +93,10 @@ mod tests {
         let inst = Instance::fig1_example(1.9, false);
         let off = solve_offline(&inst).unwrap();
         let total = cost_without_ramp(&inst, &off.allocations);
-        assert!((total - 9.4).abs() < 1e-4, "offline cost {total}, expected 9.4");
+        assert!(
+            (total - 9.4).abs() < 1e-4,
+            "offline cost {total}, expected 9.4"
+        );
 
         // The paper's suggested policy, evaluated by the same cost model.
         let mut at_a = Allocation::zeros(2, 1);

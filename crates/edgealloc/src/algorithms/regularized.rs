@@ -398,9 +398,7 @@ impl OnlineRegularized {
                             health.deadline_hit = true;
                             if let Some(b) = best {
                                 let keep = match salvage.as_ref() {
-                                    Some(cur) => {
-                                        !(cur.residual <= b.residual)
-                                    }
+                                    Some(cur) => !(cur.residual <= b.residual),
                                     None => true,
                                 };
                                 if keep {
@@ -473,14 +471,12 @@ impl OnlineAlgorithm for OnlineRegularized {
                             ..IpmOptions::default()
                         };
                         let rung_clock = Instant::now();
-                        let (result, report) = solve_to_allocation_resilient_with(
-                            &lp,
-                            input,
-                            &lp_opts,
-                            &self.policy,
-                        );
+                        let (result, report) =
+                            solve_to_allocation_resilient_with(&lp, input, &lp_opts, &self.policy);
                         health.attempts += report.attempts;
-                        health.rung_ms.push(rung_clock.elapsed().as_secs_f64() * 1e3);
+                        health
+                            .rung_ms
+                            .push(rung_clock.elapsed().as_secs_f64() * 1e3);
                         match result {
                             Ok(x) => {
                                 health.final_residual = if report.final_residual.is_finite() {
@@ -718,7 +714,10 @@ mod tests {
         // The point of the seeding: strictly fewer outer iterations after
         // the first slot.
         let outers = |traj: &crate::algorithms::Trajectory| {
-            traj.health[1..].iter().map(|h| h.outer_iterations).sum::<usize>()
+            traj.health[1..]
+                .iter()
+                .map(|h| h.outer_iterations)
+                .sum::<usize>()
         };
         assert!(
             outers(&a) < outers(&b),
@@ -735,7 +734,10 @@ mod tests {
         let traj = run_online(&inst, &mut alg).unwrap();
         for (t, h) in traj.health.iter().enumerate() {
             assert!(h.newton_steps > 0, "slot {t} recorded no Newton steps");
-            assert!(h.outer_iterations > 0, "slot {t} recorded no outer iterations");
+            assert!(
+                h.outer_iterations > 0,
+                "slot {t} recorded no outer iterations"
+            );
         }
         let summary = traj.health_summary();
         assert!(summary.newton_steps >= traj.health.len());
@@ -790,7 +792,10 @@ mod tests {
             assert_eq!(h.rung, FallbackRung::Primary);
             assert!(!h.sanitized);
             assert!(h.errors.is_empty(), "{:?}", h.errors);
-            assert!(h.final_residual.expect("primary slot certifies a gap").is_finite());
+            assert!(h
+                .final_residual
+                .expect("primary slot certifies a gap")
+                .is_finite());
         }
         assert_eq!(traj.health_summary().degraded_slots, 0);
     }
@@ -809,11 +814,22 @@ mod tests {
         assert_eq!(traj.allocations.len(), inst.num_slots());
         assert_eq!(traj.health.len(), inst.num_slots());
         for (t, (x, h)) in traj.allocations.iter().zip(&traj.health).enumerate() {
-            assert_ne!(h.rung, FallbackRung::Primary, "slot {t} claims a clean solve");
-            assert!(h.attempts > 1, "slot {t} recorded {} attempt(s)", h.attempts);
+            assert_ne!(
+                h.rung,
+                FallbackRung::Primary,
+                "slot {t} claims a clean solve"
+            );
+            assert!(
+                h.attempts > 1,
+                "slot {t} recorded {} attempt(s)",
+                h.attempts
+            );
             assert!(!h.errors.is_empty(), "slot {t} swallowed no error");
             assert!(x.demand_shortfall(inst.workloads()) < 1e-4, "slot {t}");
-            assert!(x.capacity_excess(inst.system().capacities()) < 1e-4, "slot {t}");
+            assert!(
+                x.capacity_excess(inst.system().capacities()) < 1e-4,
+                "slot {t}"
+            );
         }
         let cost = evaluate_trajectory(&inst, &traj.allocations).total();
         assert!(cost.is_finite() && cost > 0.0, "cost {cost}");
@@ -849,7 +865,10 @@ mod tests {
             assert!(h.deadline_hit, "slot {t} missed the deadline flag");
             assert_eq!(h.deadline_ms, Some(0.0));
             assert!(x.demand_shortfall(inst.workloads()) < 1e-6, "slot {t}");
-            assert!(x.capacity_excess(inst.system().capacities()) < 1e-6, "slot {t}");
+            assert!(
+                x.capacity_excess(inst.system().capacities()) < 1e-6,
+                "slot {t}"
+            );
         }
         assert_eq!(traj.health_summary().deadline_hits, inst.num_slots());
     }
@@ -894,7 +913,10 @@ mod tests {
             assert_eq!(h.rung, FallbackRung::CarryForward, "slot {t}");
             assert!(h.repaired, "slot {t}");
             assert!(x.demand_shortfall(inst.workloads()) < 1e-6, "slot {t}");
-            assert!(x.capacity_excess(inst.system().capacities()) < 1e-6, "slot {t}");
+            assert!(
+                x.capacity_excess(inst.system().capacities()) < 1e-6,
+                "slot {t}"
+            );
         }
     }
 }

@@ -124,7 +124,11 @@ impl Allocation {
     ///
     /// Panics if `capacities.len() != num_clouds`.
     pub fn capacity_excess(&self, capacities: &[f64]) -> f64 {
-        assert_eq!(capacities.len(), self.num_clouds, "capacity length mismatch");
+        assert_eq!(
+            capacities.len(),
+            self.num_clouds,
+            "capacity length mismatch"
+        );
         (0..self.num_clouds)
             .map(|i| (self.cloud_total(i) - capacities[i]).max(0.0))
             .fold(0.0, f64::max)

@@ -253,7 +253,11 @@ mod tests {
         let c = transition_cost(&inst, &a, &b);
         // Move 1 unit: z_out(0)=1, z_in(1)=1 → 0.5 + 0.5 = 1 migration;
         // reconfig at cloud 1 for +1 unit → 1.
-        assert!((c.migration - 1.0).abs() < 1e-12, "migration {}", c.migration);
+        assert!(
+            (c.migration - 1.0).abs() < 1e-12,
+            "migration {}",
+            c.migration
+        );
         assert!((c.reconfig - 1.0).abs() < 1e-12, "reconfig {}", c.reconfig);
     }
 
@@ -267,7 +271,9 @@ mod tests {
         let traj = vec![a.clone(), b, a];
         let timeline = trajectory_timeline(&inst, &traj);
         assert_eq!(timeline.len(), 3);
-        let summed: CostBreakdown = timeline.into_iter().fold(CostBreakdown::default(), |x, y| x + y);
+        let summed: CostBreakdown = timeline
+            .into_iter()
+            .fold(CostBreakdown::default(), |x, y| x + y);
         let total = evaluate_trajectory(&inst, &traj);
         assert!((summed.total() - total.total()).abs() < 1e-12);
         assert!((summed.migration - total.migration).abs() < 1e-12);

@@ -94,6 +94,32 @@ pub struct SlotHealth {
     /// ran) — the per-step cost the kernel choice is supposed to move.
     #[serde(default)]
     pub newton_step_ms: Option<f64>,
+    /// User shards the slot was decomposed into (0 for non-sharded
+    /// algorithms and legacy records; 1 when the sharded algorithm fell
+    /// through to its monolithic path).
+    #[serde(default)]
+    pub shards: usize,
+    /// Capacity-price coordination rounds the sharded decomposition ran
+    /// (0 for non-sharded slots).
+    #[serde(default)]
+    pub coord_rounds: usize,
+    /// Largest relative per-cloud capacity violation of the adopted
+    /// coordination round's *merged, unprojected* allocation
+    /// (`max_i (Σ_j x_ij − C_i)⁺ / max(C_i, 1)`; `None` for non-sharded
+    /// slots). The projection step removes it from the decision — this
+    /// records how far coordination itself got.
+    #[serde(default)]
+    pub max_capacity_violation: Option<f64>,
+    /// Certified relative duality gap of the adopted round: the distance
+    /// between the projected decision's true ℙ₂ objective and the
+    /// decomposition's dual lower bound (`None` for non-sharded slots).
+    #[serde(default)]
+    pub duality_gap: Option<f64>,
+    /// Whether the sharded coordinator closed the slot with its hybrid
+    /// refinement: a warm-started monolithic solve from the best projected
+    /// round, run when coordination stalled above its gap tolerance.
+    #[serde(default)]
+    pub polished: bool,
     /// Errors swallowed along the way (the failures that pushed the
     /// decision down the ladder), newest last.
     pub errors: Vec<String>,
@@ -116,6 +142,11 @@ impl SlotHealth {
             outer_iterations: 0,
             schur_kernel: None,
             newton_step_ms: None,
+            shards: 0,
+            coord_rounds: 0,
+            max_capacity_violation: None,
+            duality_gap: None,
+            polished: false,
             errors: Vec::new(),
         }
     }
@@ -149,6 +180,11 @@ impl SlotHealth {
             outer_iterations: 0,
             schur_kernel: None,
             newton_step_ms: None,
+            shards: 0,
+            coord_rounds: 0,
+            max_capacity_violation: None,
+            duality_gap: None,
+            polished: false,
             errors: report.error.iter().cloned().collect(),
         }
     }
@@ -241,6 +277,22 @@ pub struct HealthSummary {
     /// `slots − blocked_kernel_slots − non-barrier slots`).
     #[serde(default)]
     pub blocked_kernel_slots: usize,
+    /// Slots decided by the sharded decomposition (shards ≥ 2; a sharded
+    /// algorithm's monolithic fall-through slots don't count).
+    #[serde(default)]
+    pub sharded_slots: usize,
+    /// Total capacity-price coordination rounds across all sharded slots.
+    #[serde(default)]
+    pub coord_rounds: usize,
+    /// Largest relative capacity violation any sharded slot's adopted
+    /// (unprojected) coordination round left behind (0 when no sharded
+    /// slot ran).
+    #[serde(default)]
+    pub peak_capacity_violation: f64,
+    /// Sharded slots closed by the hybrid refinement (warm-started
+    /// monolithic solve after coordination stalled above tolerance).
+    #[serde(default)]
+    pub polished_slots: usize,
 }
 
 impl HealthSummary {
@@ -266,6 +318,18 @@ impl HealthSummary {
             if h.schur_kernel.as_deref() == Some("blocked") {
                 summary.blocked_kernel_slots += 1;
             }
+            if h.shards >= 2 {
+                summary.sharded_slots += 1;
+            }
+            summary.coord_rounds += h.coord_rounds;
+            if h.polished {
+                summary.polished_slots += 1;
+            }
+            if let Some(v) = h.max_capacity_violation {
+                if v.is_finite() {
+                    summary.peak_capacity_violation = summary.peak_capacity_violation.max(v);
+                }
+            }
         }
         summary
     }
@@ -280,6 +344,12 @@ impl HealthSummary {
         self.peak_outer_iterations = self.peak_outer_iterations.max(other.peak_outer_iterations);
         self.deadline_hits += other.deadline_hits;
         self.blocked_kernel_slots += other.blocked_kernel_slots;
+        self.sharded_slots += other.sharded_slots;
+        self.coord_rounds += other.coord_rounds;
+        self.peak_capacity_violation = self
+            .peak_capacity_violation
+            .max(other.peak_capacity_violation);
+        self.polished_slots += other.polished_slots;
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -375,6 +445,47 @@ mod tests {
         assert_eq!(h.final_residual, Some(0.0));
         assert_eq!(h.schur_kernel, None);
         assert_eq!(h.newton_step_ms, None);
+        assert_eq!(h.shards, 0);
+        assert_eq!(h.coord_rounds, 0);
+        assert_eq!(h.max_capacity_violation, None);
+        assert_eq!(h.duality_gap, None);
+    }
+
+    #[test]
+    fn summary_aggregates_sharded_telemetry() {
+        let mut a = SlotHealth::primary();
+        a.shards = 4;
+        a.coord_rounds = 3;
+        a.max_capacity_violation = Some(0.02);
+        a.duality_gap = Some(1e-5);
+        let mut b = SlotHealth::primary();
+        b.shards = 1; // monolithic fall-through: not a sharded slot
+        b.coord_rounds = 0;
+        let c = SlotHealth::primary(); // non-sharded algorithm
+        let mut s = HealthSummary::from_slots(&[a.clone(), b, c]);
+        assert_eq!(s.sharded_slots, 1);
+        assert_eq!(s.coord_rounds, 3);
+        assert!((s.peak_capacity_violation - 0.02).abs() < 1e-15);
+        assert!(!a.degraded(), "sharding itself is not a degradation");
+        let mut d = SlotHealth::primary();
+        d.shards = 2;
+        d.coord_rounds = 7;
+        d.max_capacity_violation = Some(0.5);
+        let other = HealthSummary::from_slots(&[d]);
+        s.merge(&other);
+        assert_eq!(s.sharded_slots, 2);
+        assert_eq!(s.coord_rounds, 10);
+        assert!((s.peak_capacity_violation - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn legacy_summary_json_without_shard_fields_deserializes() {
+        let legacy = r#"{"slots":4,"degraded_slots":0,"sanitized_slots":0,
+            "rungs":{"primary":4,"relaxed_tolerance":0,"per_slot_lp":0,"carry_forward":0}}"#;
+        let s: HealthSummary = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.sharded_slots, 0);
+        assert_eq!(s.coord_rounds, 0);
+        assert_eq!(s.peak_capacity_violation, 0.0);
     }
 
     #[test]

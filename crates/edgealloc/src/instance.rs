@@ -103,10 +103,14 @@ impl Instance {
         }
         for (t, row) in operation_prices.iter().enumerate() {
             if row.len() != num_clouds {
-                return Err(Error::Invalid(format!("operation price row {t} wrong length")));
+                return Err(Error::Invalid(format!(
+                    "operation price row {t} wrong length"
+                )));
             }
             if row.iter().any(|&p| p < 0.0 || !p.is_finite()) {
-                return Err(Error::Invalid(format!("negative operation price at slot {t}")));
+                return Err(Error::Invalid(format!(
+                    "negative operation price at slot {t}"
+                )));
             }
         }
         for (name, v) in [
@@ -251,11 +255,8 @@ impl Instance {
     /// which is identical for all policies; see
     /// [`crate::cost::evaluate_trajectory`] with a warm initial allocation).
     pub fn fig1_example(d_ab: f64, user_returns: bool) -> Self {
-        let system = EdgeCloudSystem::new(
-            vec![2.0, 2.0],
-            vec![vec![0.0, d_ab], vec![d_ab, 0.0]],
-        )
-        .expect("static example system is valid");
+        let system = EdgeCloudSystem::new(vec![2.0, 2.0], vec![vec![0.0, d_ab], vec![d_ab, 0.0]])
+            .expect("static example system is valid");
         let attachment = if user_returns {
             vec![vec![0, 1, 0]]
         } else {
@@ -290,11 +291,8 @@ impl Instance {
         assert!(k > 0.0, "k must be positive");
         assert!(num_slots > 0, "need at least one slot");
         let d_ab = k + 0.1;
-        let system = EdgeCloudSystem::new(
-            vec![2.0, 2.0],
-            vec![vec![0.0, d_ab], vec![d_ab, 0.0]],
-        )
-        .expect("static system is valid");
+        let system = EdgeCloudSystem::new(vec![2.0, 2.0], vec![vec![0.0, d_ab], vec![d_ab, 0.0]])
+            .expect("static system is valid");
         let attachment = vec![(0..num_slots).map(|t| t % 2).collect::<Vec<_>>()];
         let mobility = MobilityInput::new(2, attachment, vec![vec![0.0; num_slots]]);
         Instance::new(
@@ -507,8 +505,7 @@ mod tests {
 
     #[test]
     fn rejects_capacity_below_workload() {
-        let system =
-            EdgeCloudSystem::new(vec![1.0], vec![vec![0.0]]).unwrap();
+        let system = EdgeCloudSystem::new(vec![1.0], vec![vec![0.0]]).unwrap();
         let mob = MobilityInput::new(1, vec![vec![0]], vec![vec![0.0]]);
         let r = Instance::new(
             system,

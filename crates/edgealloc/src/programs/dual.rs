@@ -74,9 +74,7 @@ pub fn fit(inst: &Instance, solutions: &[P2Solution], eps: Epsilons) -> DualFit 
             for j in 0..num_users {
                 let lambda = inst.workload(j);
                 let tau = (1.0 + lambda / eps.eps2).ln();
-                bij.push(
-                    b_tilde / tau * ((lambda + eps.eps2) / (prev.get(i, j) + eps.eps2)).ln(),
-                );
+                bij.push(b_tilde / tau * ((lambda + eps.eps2) / (prev.get(i, j) + eps.eps2)).ln());
             }
             bt.push(bij);
         }
@@ -147,7 +145,12 @@ impl DualFit {
     /// evaluated with `α_{·,T+1}` and `β_{·,·,T+1}` computed from the final
     /// slot's solution. Feasibility follows from the ℙ₂ stationarity
     /// condition (15a), so this measures how exactly KKT holds.
-    pub fn coupling_violation(&self, inst: &Instance, solutions: &[P2Solution], eps: Epsilons) -> f64 {
+    pub fn coupling_violation(
+        &self,
+        inst: &Instance,
+        solutions: &[P2Solution],
+        eps: Epsilons,
+    ) -> f64 {
         let w = inst.weights();
         let num_slots = self.alpha.len();
         let num_clouds = inst.num_clouds();

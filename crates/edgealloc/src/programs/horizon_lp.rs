@@ -37,8 +37,7 @@ impl Layout {
         2 * self.num_slots * self.num_clouds * self.num_users + t * self.num_clouds + i
     }
     fn num_vars(&self) -> usize {
-        2 * self.num_slots * self.num_clouds * self.num_users
-            + self.num_slots * self.num_clouds
+        2 * self.num_slots * self.num_clouds * self.num_users + self.num_slots * self.num_clouds
     }
 }
 
@@ -75,15 +74,13 @@ pub fn build(inst: &Instance) -> LpProblem {
     // Demand and capacity rows, per slot.
     for t in 0..lay.num_slots {
         for j in 0..lay.num_users {
-            let terms: Vec<(usize, f64)> = (0..lay.num_clouds)
-                .map(|i| (lay.x(i, j, t), 1.0))
-                .collect();
+            let terms: Vec<(usize, f64)> =
+                (0..lay.num_clouds).map(|i| (lay.x(i, j, t), 1.0)).collect();
             lp.add_row(ConstraintSense::Ge, inst.workload(j), &terms);
         }
         for i in 0..lay.num_clouds {
-            let terms: Vec<(usize, f64)> = (0..lay.num_users)
-                .map(|j| (lay.x(i, j, t), 1.0))
-                .collect();
+            let terms: Vec<(usize, f64)> =
+                (0..lay.num_users).map(|j| (lay.x(i, j, t), 1.0)).collect();
             lp.add_row(ConstraintSense::Le, inst.system().capacity(i), &terms);
         }
     }

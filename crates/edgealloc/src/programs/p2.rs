@@ -244,6 +244,82 @@ fn capacity_rhs(input: &SlotInput<'_>, i: usize, mode: CapacityMode, total_workl
     }
 }
 
+/// Cloud `i`'s aggregate (reconfiguration) regularizer as a [`ScalarTerm`]
+/// on the cloud total `x_{i,t} = Σ_j x_ij`, referenced at the previous
+/// slot's total — exactly the group term [`build_with_kernel`] installs, or
+/// `None` when that term is absent. The sharded coordinator evaluates this
+/// term's value/derivative (`φ_i`, `φ_i'`) to linearize the one
+/// non-separable piece of ℙ₂ across user shards.
+pub fn reconfig_term(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    i: usize,
+    eps1: f64,
+) -> Option<ScalarTerm> {
+    reconfig_weight(input, i, eps1).map(|weight| ScalarTerm::RelativeEntropy {
+        weight,
+        eps: eps1,
+        xref: prev.cloud_total(i),
+    })
+}
+
+/// Evaluates the full ℙ₂ objective (linear operation + quality costs,
+/// per-cloud aggregate reconfiguration entropy, per-(i,j) migration
+/// entropy; excluding the constant access-delay term, as everywhere in this
+/// module) at an **arbitrary** allocation `x` — not necessarily a solver
+/// iterate. Terms dropped by the builders (degenerate η/τ, zero prices) are
+/// dropped here too, so the value agrees exactly with
+/// [`BarrierSolution::objective`] at the same point.
+///
+/// The sharded slot solver uses this to compare coordination rounds on a
+/// common footing (merged shard solutions and their capacity projections
+/// are not iterates of any single solver).
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] for non-positive epsilons, a dimension
+/// mismatch between `x` and the slot, or corrupted prices/delays (as
+/// [`build`]).
+pub fn slot_objective(
+    input: &SlotInput<'_>,
+    prev: &Allocation,
+    x: &Allocation,
+    eps: Epsilons,
+) -> Result<f64> {
+    if !(eps.eps1 > 0.0) || !(eps.eps2 > 0.0) {
+        return Err(Error::Invalid("ε₁ and ε₂ must be positive".into()));
+    }
+    let num_clouds = input.num_clouds();
+    let num_users = input.num_users();
+    if x.num_clouds() != num_clouds || x.num_users() != num_users {
+        return Err(Error::Invalid(format!(
+            "allocation is {}×{} but the slot is {}×{}",
+            x.num_clouds(),
+            x.num_users(),
+            num_clouds,
+            num_users
+        )));
+    }
+    let mut total = 0.0;
+    for i in 0..num_clouds {
+        if let Some(term) = reconfig_term(input, prev, i, eps.eps1) {
+            total += term.value(x.cloud_total(i));
+        }
+        for j in 0..num_users {
+            total += linear_coef(input, i, j)? * x.get(i, j);
+            if let Some(weight) = migration_weight(input, i, j, eps.eps2) {
+                let term = ScalarTerm::RelativeEntropy {
+                    weight,
+                    eps: eps.eps2,
+                    xref: prev.get(i, j),
+                };
+                total += term.value(x.get(i, j));
+            }
+        }
+    }
+    Ok(total)
+}
+
 /// Which terms of ℙ₂ *exist* for a given slot: the per-cloud aggregate
 /// groups and per-(i,j) entropy terms are dropped when their weights
 /// degenerate, so term existence — unlike term values — can in principle
@@ -387,7 +463,13 @@ impl P2Workspace {
             }
             for j in 0..num_users {
                 let k = i * num_users + j;
-                f.set_term(k, 0, ScalarTerm::Linear { coef: linear_coef(input, i, j)? });
+                f.set_term(
+                    k,
+                    0,
+                    ScalarTerm::Linear {
+                        coef: linear_coef(input, i, j)?,
+                    },
+                );
                 if let Some(weight) = migration_weight(input, i, j, self.eps.eps2) {
                     f.set_term(
                         k,
@@ -415,7 +497,11 @@ impl P2Workspace {
     /// # Errors
     ///
     /// As [`BarrierSolver::solve`].
-    pub fn solve(&mut self, start: Option<&[f64]>, opts: &BarrierOptions) -> Result<BarrierSolution> {
+    pub fn solve(
+        &mut self,
+        start: Option<&[f64]>,
+        opts: &BarrierOptions,
+    ) -> Result<BarrierSolution> {
         self.solve_raw(start, opts).map_err(Error::from)
     }
 
@@ -426,7 +512,8 @@ impl P2Workspace {
         start: Option<&[f64]>,
         opts: &BarrierOptions,
     ) -> optim::Result<BarrierSolution> {
-        self.solver.solve_with_workspace(start, opts, &mut self.barrier)
+        self.solver
+            .solve_with_workspace(start, opts, &mut self.barrier)
     }
 
     /// The underlying solver (dimensions, objective evaluation).
@@ -612,7 +699,15 @@ mod tests {
         let (inst, _) = fig1_slot(0);
         let input = SlotInput::from_instance(&inst, 0);
         let prev = Allocation::zeros(2, 1);
-        assert!(build(&input, &prev, Epsilons { eps1: 0.0, eps2: 1.0 }).is_err());
+        assert!(build(
+            &input,
+            &prev,
+            Epsilons {
+                eps1: 0.0,
+                eps2: 1.0
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -625,6 +720,49 @@ mod tests {
         // Solving from this start must not raise BadStartingPoint.
         let sol = solver.solve(Some(&start), &BarrierOptions::default());
         assert!(sol.is_ok(), "{sol:?}");
+    }
+
+    #[test]
+    fn slot_objective_agrees_with_solver_objective() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = SlotInput::from_instance(&inst, 1);
+        let mut prev = Allocation::zeros(2, 1);
+        prev.set(0, 0, 1.0);
+        let sol = solve(
+            &input,
+            &prev,
+            Epsilons::default(),
+            None,
+            &BarrierOptions::default(),
+        )
+        .unwrap();
+        let eval = slot_objective(&input, &prev, &sol.allocation, Epsilons::default()).unwrap();
+        assert!(
+            (eval - sol.objective).abs() <= 1e-9 * (1.0 + sol.objective.abs()),
+            "evaluator {eval} vs solver {}",
+            sol.objective
+        );
+        // And it rejects a mis-shaped allocation.
+        assert!(
+            slot_objective(&input, &prev, &Allocation::zeros(3, 1), Epsilons::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn reconfig_term_matches_installed_group() {
+        let inst = Instance::fig1_example(2.1, true);
+        let input = SlotInput::from_instance(&inst, 0);
+        let mut prev = Allocation::zeros(2, 1);
+        prev.set(1, 0, 0.7);
+        let term = reconfig_term(&input, &prev, 1, 0.5).expect("live cloud has a group term");
+        match term {
+            ScalarTerm::RelativeEntropy { weight, eps, xref } => {
+                assert!(weight > 0.0);
+                assert_eq!(eps, 0.5);
+                assert!((xref - 0.7).abs() < 1e-12);
+            }
+            other => panic!("unexpected term {other:?}"),
+        }
     }
 
     #[test]

@@ -66,9 +66,8 @@ pub fn build(inst: &Instance) -> LpProblem {
     for t in 0..lay.num_slots {
         // (6a) demand.
         for j in 0..lay.num_users {
-            let terms: Vec<(usize, f64)> = (0..lay.num_clouds)
-                .map(|i| (lay.x(i, j, t), 1.0))
-                .collect();
+            let terms: Vec<(usize, f64)> =
+                (0..lay.num_clouds).map(|i| (lay.x(i, j, t), 1.0)).collect();
             lp.add_row(ConstraintSense::Ge, inst.workload(j), &terms);
         }
         // (13c): Σ_{k≠i} Σ_j x ≥ (Σλ − C_i)⁺.

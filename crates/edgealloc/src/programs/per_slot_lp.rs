@@ -51,14 +51,12 @@ pub fn base_lp(input: &SlotInput<'_>, terms: StaticTerms) -> LpProblem {
     }
     // Demand rows.
     for j in 0..num_users {
-        let terms: Vec<(usize, f64)> =
-            (0..num_clouds).map(|i| (i * num_users + j, 1.0)).collect();
+        let terms: Vec<(usize, f64)> = (0..num_clouds).map(|i| (i * num_users + j, 1.0)).collect();
         lp.add_row(ConstraintSense::Ge, input.workloads[j], &terms);
     }
     // Capacity rows.
     for i in 0..num_clouds {
-        let terms: Vec<(usize, f64)> =
-            (0..num_users).map(|j| (i * num_users + j, 1.0)).collect();
+        let terms: Vec<(usize, f64)> = (0..num_users).map(|j| (i * num_users + j, 1.0)).collect();
         lp.add_row(ConstraintSense::Le, input.system.capacity(i), &terms);
     }
     lp
@@ -82,9 +80,17 @@ pub fn add_dynamic_terms(lp: &mut LpProblem, input: &SlotInput<'_>, prev: &Alloc
         for j in 0..num_users {
             let k = i * num_users + j;
             let vin = lp.add_var(w.migration * input.migration_in[i]);
-            lp.add_row(ConstraintSense::Ge, -prev.get(i, j), &[(vin, 1.0), (k, -1.0)]);
+            lp.add_row(
+                ConstraintSense::Ge,
+                -prev.get(i, j),
+                &[(vin, 1.0), (k, -1.0)],
+            );
             let vout = lp.add_var(w.migration * input.migration_out[i]);
-            lp.add_row(ConstraintSense::Ge, prev.get(i, j), &[(vout, 1.0), (k, 1.0)]);
+            lp.add_row(
+                ConstraintSense::Ge,
+                prev.get(i, j),
+                &[(vout, 1.0), (k, 1.0)],
+            );
         }
     }
 }

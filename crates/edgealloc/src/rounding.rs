@@ -53,11 +53,7 @@ impl VmAllocation {
 /// Returns [`Error::Invalid`] if `vm_size` is not positive or the total VM
 /// capacity cannot host every user's VM count (a discretization artifact
 /// possible even when `ΣC ≥ Σλ`).
-pub fn round_to_vms(
-    input: &SlotInput<'_>,
-    x: &Allocation,
-    vm_size: f64,
-) -> Result<VmAllocation> {
+pub fn round_to_vms(input: &SlotInput<'_>, x: &Allocation, vm_size: f64) -> Result<VmAllocation> {
     if !(vm_size > 0.0) || !vm_size.is_finite() {
         return Err(Error::Invalid("vm_size must be positive".into()));
     }

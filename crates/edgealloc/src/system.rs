@@ -53,7 +53,10 @@ impl EdgeCloudSystem {
         }
         for (i, row) in delay.iter().enumerate() {
             if row.len() != n {
-                return Err(Error::Invalid(format!("delay row {i} has length {}", row.len())));
+                return Err(Error::Invalid(format!(
+                    "delay row {i} has length {}",
+                    row.len()
+                )));
             }
             if row[i] != 0.0 {
                 return Err(Error::Invalid(format!("delay[{i}][{i}] must be zero")));

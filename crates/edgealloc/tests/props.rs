@@ -3,9 +3,7 @@
 
 use edgealloc::algorithms::{repair_capacity, SlotInput};
 use edgealloc::allocation::Allocation;
-use edgealloc::cost::{
-    evaluate_trajectory, slot_static_cost, transition_cost, CostWeights,
-};
+use edgealloc::cost::{evaluate_trajectory, slot_static_cost, transition_cost, CostWeights};
 use edgealloc::instance::Instance;
 use edgealloc::system::EdgeCloudSystem;
 use mobility::MobilityInput;
@@ -43,14 +41,22 @@ fn small_instance() -> impl Strategy<Value = Instance> {
             }
             let system = EdgeCloudSystem::new(capacities, delay).expect("valid system");
             let attachment: Vec<Vec<usize>> = (0..nu)
-                .map(|j| (0..nt).map(|t| att[(j * nt + t) % att.len()] % nc).collect())
+                .map(|j| {
+                    (0..nt)
+                        .map(|t| att[(j * nt + t) % att.len()] % nc)
+                        .collect()
+                })
                 .collect();
             let access: Vec<Vec<f64>> = (0..nu)
                 .map(|j| (0..nt).map(|t| raw[(j + t * 7) % raw.len()]).collect())
                 .collect();
             let mobility = MobilityInput::new(nc, attachment, access);
             let prices: Vec<Vec<f64>> = (0..nt)
-                .map(|t| (0..nc).map(|i| 0.2 + raw[(t * nc + i) % raw.len()]).collect())
+                .map(|t| {
+                    (0..nc)
+                        .map(|i| 0.2 + raw[(t * nc + i) % raw.len()])
+                        .collect()
+                })
                 .collect();
             let reconfig: Vec<f64> = (0..nc).map(|i| raw[(i + 11) % raw.len()]).collect();
             let b_out: Vec<f64> = (0..nc).map(|i| raw[(i + 17) % raw.len()] * 0.5).collect();

@@ -154,10 +154,7 @@ mod tests {
     fn from_positions_attaches_to_nearest() {
         let net = rome_metro();
         // A user sitting exactly on each of two stations across two slots.
-        let positions = vec![vec![
-            net.station(0).position,
-            net.station(3).position,
-        ]];
+        let positions = vec![vec![net.station(0).position, net.station(3).position]];
         let input = MobilityInput::from_positions(&net, &positions);
         assert_eq!(input.num_users(), 1);
         assert_eq!(input.num_slots(), 2);

@@ -103,18 +103,14 @@ pub fn operation_price_series_ar1<R: Rng + ?Sized>(
 ) -> Vec<Vec<f64>> {
     assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
     let n = base.len();
-    let mut state: Vec<f64> = base
-        .iter()
-        .map(|&b| normal(rng, 0.0, b / 2.0))
-        .collect();
+    let mut state: Vec<f64> = base.iter().map(|&b| normal(rng, 0.0, b / 2.0)).collect();
     let mut out = Vec::with_capacity(num_slots);
     for _ in 0..num_slots {
         let mut row = Vec::with_capacity(n);
         for i in 0..n {
             let b = base[i];
             row.push((b + state[i]).max(floor_frac * b));
-            state[i] = rho * state[i]
-                + (1.0 - rho * rho).sqrt() * normal(rng, 0.0, b / 2.0);
+            state[i] = rho * state[i] + (1.0 - rho * rho).sqrt() * normal(rng, 0.0, b / 2.0);
         }
         out.push(row);
     }
@@ -206,7 +202,8 @@ mod tests {
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         // Lag-1 autocorrelation near rho.
-        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        let var: f64 =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
         let cov: f64 = vals
             .windows(2)
             .map(|w| (w[0] - mean) * (w[1] - mean))

@@ -206,7 +206,11 @@ pub fn resample(
             } else {
                 let (t0, p0) = fixes[after - 1];
                 let (t1, p1) = fixes[after];
-                let f = if t1 > t0 { (when - t0) / (t1 - t0) } else { 0.0 };
+                let f = if t1 > t0 {
+                    (when - t0) / (t1 - t0)
+                } else {
+                    0.0
+                };
                 p0.lerp(&p1, f)
             };
             row.push(pos);

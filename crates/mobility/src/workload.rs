@@ -100,7 +100,10 @@ mod tests {
         let u = WorkloadDist::default_uniform().sample_many(20_000, &mut rng);
         let max_p = *p.iter().max().unwrap();
         let max_u = *u.iter().max().unwrap();
-        assert!(max_p > 2 * max_u, "power max {max_p} vs uniform max {max_u}");
+        assert!(
+            max_p > 2 * max_u,
+            "power max {max_p} vs uniform max {max_u}"
+        );
     }
 
     #[test]

@@ -284,19 +284,21 @@ impl BarrierSolver {
             for k in 0..n {
                 lp.add_row(ConstraintSense::Ge, delta, &[(x0 + k, 1.0), (t_var, 1.0)]);
             }
-            let sol = lp.solve_with(&IpmOptions {
-                tol: 1e-9,
-                budget: *budget,
-                ..IpmOptions::default()
-            })
-            .map_err(|e| match e {
-                // A phase-I iterate lives in the auxiliary LP's variable
-                // space — useless to barrier callers, so don't offer it.
-                Error::DeadlineExceeded { iterations, .. } => {
-                    Error::DeadlineExceeded { iterations, best: None }
-                }
-                other => other,
-            })?;
+            let sol = lp
+                .solve_with(&IpmOptions {
+                    tol: 1e-9,
+                    budget: *budget,
+                    ..IpmOptions::default()
+                })
+                .map_err(|e| match e {
+                    // A phase-I iterate lives in the auxiliary LP's variable
+                    // space — useless to barrier callers, so don't offer it.
+                    Error::DeadlineExceeded { iterations, .. } => Error::DeadlineExceeded {
+                        iterations,
+                        best: None,
+                    },
+                    other => other,
+                })?;
             let t_opt = sol.x[t_var];
             if t_opt < 0.5 * delta {
                 // Strictly interior with margin ≥ δ/2 up to solver tolerance;
@@ -444,7 +446,8 @@ impl BarrierSolver {
                 for (ir, &sr) in ws.inv_slack.iter_mut().zip(&ws.slack) {
                     *ir = 1.0 / sr;
                 }
-                self.a.mul_transpose_vec_into(&ws.inv_slack, &mut ws.at_inv_slack);
+                self.a
+                    .mul_transpose_vec_into(&ws.inv_slack, &mut ws.at_inv_slack);
                 for k in 0..n {
                     ws.g[k] = -(t * ws.grad_f[k] - ws.at_inv_slack[k] - 1.0 / ws.x[k]);
                     // Newton matrix diagonal.
@@ -459,13 +462,12 @@ impl BarrierSolver {
                 self.coupling
                     .solve_into(&ws.d, &ws.e, &ws.g, &mut ws.schur, &mut ws.dx)?;
                 // Newton decrement λ² = dxᵀ H dx = −∇ψᵀ dx = gᵀ dx (g already negated).
-                let lambda2: f64 = ws
-                    .g
-                    .iter()
-                    .zip(&ws.dx)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-                    .max(0.0);
+                let lambda2: f64 =
+                    ws.g.iter()
+                        .zip(&ws.dx)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        .max(0.0);
                 stats.newton_steps += 1;
                 if 0.5 * lambda2 < opts.inner_tol {
                     break;
@@ -603,7 +605,12 @@ impl BarrierWorkspace {
         ] {
             buf.resize(n, 0.0);
         }
-        for buf in [&mut self.slack, &mut self.inv_slack, &mut self.ds, &mut self.sn] {
+        for buf in [
+            &mut self.slack,
+            &mut self.inv_slack,
+            &mut self.ds,
+            &mut self.sn,
+        ] {
             buf.resize(m, 0.0);
         }
         self.at_inv_slack.resize(n, 0.0);

@@ -388,9 +388,8 @@ impl DiagPlusLowRank {
                     sdc_rest = tail;
                     let my_lo = lo;
                     lo += take;
-                    scope.spawn(move || {
-                        eliminate_local_rows(job_ref, my_lo, sdd_c, sdc_c, scratch)
-                    });
+                    scope
+                        .spawn(move || eliminate_local_rows(job_ref, my_lo, sdd_c, sdc_c, scratch));
                 }
                 // The calling thread is the first worker.
                 eliminate_local_rows(job_ref, 0, sdd0, sdc0, &mut first[0]);

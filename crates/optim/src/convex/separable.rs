@@ -283,7 +283,11 @@ mod tests {
             let fd1 = (t.value(x + h) - t.value(x - h)) / (2.0 * h);
             assert!((fd1 - t.deriv(x)).abs() < 1e-5, "deriv at {x}");
             let fd2 = (t.value(x + h2) - 2.0 * t.value(x) + t.value(x - h2)) / (h2 * h2);
-            assert!((fd2 - t.deriv2(x)).abs() < 1e-3, "deriv2 at {x}: {fd2} vs {}", t.deriv2(x));
+            assert!(
+                (fd2 - t.deriv2(x)).abs() < 1e-3,
+                "deriv2 at {x}: {fd2} vs {}",
+                t.deriv2(x)
+            );
         }
     }
 

@@ -1,0 +1,310 @@
+//! Dual-ascent driver for price-coordinated decomposition.
+//!
+//! A coupled program `min Σ_s f_s(x_s)  s.t.  Σ_s G_s(x_s) ≤ c` (shards
+//! `s` coupled only through a shared resource `c`) decomposes once the
+//! coupling is priced: for multipliers `μ ≥ 0` the Lagrangian splits into
+//! per-shard subproblems, and weak duality turns any per-shard minima into
+//! a certified lower bound on the coupled optimum. This module owns the
+//! *outer* loop of that scheme — the projected-subgradient price update
+//! with a diminishing step-size schedule, the best-round bookkeeping, and
+//! the [`SolveBudget`] slicing that spreads a wall-clock deadline across
+//! coordination rounds. What the subproblems are (and how the violation
+//! `Σ_s G_s(x_s) − c` is measured) is the caller's business: the sharded
+//! slot solver in `crates/shard` plugs the ℙ₂ shard subproblems in here.
+//!
+//! The update is the classical projected subgradient ascent on the dual
+//!
+//! ```text
+//! μ_i ← max(0, μ_i + α_k · v_i),     α_k = α₀ / (1 + δ·k),
+//! ```
+//!
+//! where `v_i` is round `k`'s violation of resource `i` (positive =
+//! over-subscribed, negative = slack). With `δ = 0` the step is constant —
+//! appropriate when the subproblems are strongly convex and the dual is
+//! smooth; a small `δ` tempers oscillation on nearly-linear subproblems.
+
+use crate::budget::SolveBudget;
+
+/// Diminishing step-size schedule `α_k = α₀ / (1 + δ·k)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSchedule {
+    /// Base step `α₀ > 0` (in price units per unit of violation).
+    pub alpha0: f64,
+    /// Decay rate `δ ≥ 0` (`0` = constant step).
+    pub decay: f64,
+}
+
+impl StepSchedule {
+    /// The step length for round `k` (0-based).
+    pub fn step(&self, k: usize) -> f64 {
+        self.alpha0 / (1.0 + self.decay * k as f64)
+    }
+}
+
+impl Default for StepSchedule {
+    fn default() -> Self {
+        // A unit base step with mild decay: callers are expected to fold
+        // their problem's price/resource scale into `alpha0` (see
+        // `shard::ShardedConfig`), so the default only fixes the shape.
+        StepSchedule {
+            alpha0: 1.0,
+            decay: 0.05,
+        }
+    }
+}
+
+/// State of one projected-subgradient dual ascent: the multipliers, the
+/// round counter, and the running best (lowest) primal objective any round
+/// achieved — the salvage the caller adopts when the loop is cut short by
+/// its deadline.
+#[derive(Debug, Clone)]
+pub struct DualAscent {
+    prices: Vec<f64>,
+    schedule: StepSchedule,
+    round: usize,
+    best_round: Option<usize>,
+    best_objective: f64,
+    adaptive: Option<AdaptiveSteps>,
+}
+
+/// Per-resource step adaptation (sign-based, RPROP-style): a violation that
+/// keeps its sign is moving the price monotonically toward the dual optimum
+/// — grow that resource's step; a sign flip means the price overshot —
+/// halve it. The subgradient's *sign* is reliable even where its magnitude
+/// is not (piecewise-linear duals), which is exactly where the plain
+/// diminishing schedule oscillates.
+#[derive(Debug, Clone)]
+struct AdaptiveSteps {
+    /// Per-resource multiplier on the scheduled step, clamped to
+    /// `[1e-4, 1e4]`.
+    scale: Vec<f64>,
+    /// Previous round's violation (`NaN` = none yet).
+    prev: Vec<f64>,
+}
+
+impl DualAscent {
+    /// A fresh ascent over `n` coupled resources, all prices zero.
+    pub fn new(n: usize, schedule: StepSchedule) -> Self {
+        Self::warm(vec![0.0; n], schedule)
+    }
+
+    /// An ascent warm-started from previously converged prices (the sharded
+    /// slot solver carries `μ` across slots: consecutive slots price the
+    /// same clouds under similar load).
+    ///
+    /// Non-finite or negative warm prices are reset to zero rather than
+    /// poisoning every subsequent update.
+    pub fn warm(prices: Vec<f64>, schedule: StepSchedule) -> Self {
+        let prices = prices
+            .into_iter()
+            .map(|p| if p.is_finite() && p > 0.0 { p } else { 0.0 })
+            .collect();
+        DualAscent {
+            prices,
+            schedule,
+            round: 0,
+            best_round: None,
+            best_objective: f64::INFINITY,
+            adaptive: None,
+        }
+    }
+
+    /// Enables per-resource step adaptation: each resource's step is scaled
+    /// up (×1.3) while its violation keeps the same sign round over round,
+    /// and halved when the sign flips (the price overshot the dual optimum).
+    /// The scheduled step `α_k` still applies as the base; scales are
+    /// clamped to `[10⁻⁴, 10⁴]`.
+    pub fn with_adaptive_steps(mut self) -> Self {
+        let n = self.prices.len();
+        self.adaptive = Some(AdaptiveSteps {
+            scale: vec![1.0; n],
+            prev: vec![f64::NAN; n],
+        });
+        self
+    }
+
+    /// The current multipliers `μ ≥ 0`.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Rounds completed so far (= the number of [`Self::ascend`] calls).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The projected subgradient update for one round: `μ_i ← max(0, μ_i +
+    /// α_k·v_i)` with `v_i` the round's violation of resource `i` (positive
+    /// = over-subscribed). Non-finite violations leave their price
+    /// untouched (a corrupted shard must not destroy the whole price
+    /// vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `violation.len()` differs from the price dimension.
+    pub fn ascend(&mut self, violation: &[f64]) {
+        assert_eq!(violation.len(), self.prices.len(), "dimension mismatch");
+        let alpha = self.schedule.step(self.round);
+        for (i, (p, &v)) in self.prices.iter_mut().zip(violation).enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let mut step = alpha;
+            if let Some(ad) = &mut self.adaptive {
+                let pv = ad.prev[i];
+                if pv.is_finite() && pv != 0.0 && v != 0.0 {
+                    if (pv > 0.0) != (v > 0.0) {
+                        ad.scale[i] *= 0.5;
+                    } else {
+                        ad.scale[i] *= 1.3;
+                    }
+                    ad.scale[i] = ad.scale[i].clamp(1e-4, 1e4);
+                }
+                ad.prev[i] = v;
+                step *= ad.scale[i];
+            }
+            *p = (*p + step * v).max(0.0);
+        }
+        self.round += 1;
+    }
+
+    /// Records a completed round's primal objective; keeps it when it beats
+    /// every earlier round (non-finite objectives never win). Returns
+    /// `true` when this round became the new best — the caller then stashes
+    /// the round's iterate as the salvage decision.
+    pub fn offer(&mut self, objective: f64) -> bool {
+        if objective.is_finite() && objective < self.best_objective {
+            self.best_objective = objective;
+            self.best_round = Some(self.round);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The best (lowest) objective offered so far, with its round index.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.best_round.map(|r| (r, self.best_objective))
+    }
+
+    /// The wall-clock slice for the *next* round: an equal share of what
+    /// remains of `budget` across the rounds still allowed. Later rounds
+    /// inherit the time early rounds did not use (see [`SolveBudget::slice`]),
+    /// and an unlimited budget stays unlimited without touching the clock.
+    pub fn round_budget(&self, budget: &SolveBudget, max_rounds: usize) -> SolveBudget {
+        budget.slice(max_rounds.saturating_sub(self.round).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_diminishes_from_alpha0() {
+        let s = StepSchedule {
+            alpha0: 2.0,
+            decay: 0.5,
+        };
+        assert_eq!(s.step(0), 2.0);
+        assert_eq!(s.step(2), 1.0);
+        assert!(s.step(10) < s.step(9));
+        let constant = StepSchedule {
+            alpha0: 0.3,
+            decay: 0.0,
+        };
+        assert_eq!(constant.step(0), constant.step(100));
+    }
+
+    #[test]
+    fn ascend_projects_onto_nonnegative_prices() {
+        let mut d = DualAscent::new(
+            3,
+            StepSchedule {
+                alpha0: 1.0,
+                decay: 0.0,
+            },
+        );
+        d.ascend(&[2.0, -5.0, f64::NAN]);
+        assert_eq!(d.prices(), &[2.0, 0.0, 0.0]);
+        assert_eq!(d.round(), 1);
+        d.ascend(&[-1.0, 1.0, 0.5]);
+        assert_eq!(d.prices(), &[1.0, 1.0, 0.5]);
+        assert_eq!(d.round(), 2);
+    }
+
+    #[test]
+    fn warm_start_sanitizes_bad_prices() {
+        let d = DualAscent::warm(
+            vec![1.5, -2.0, f64::INFINITY, f64::NAN],
+            StepSchedule::default(),
+        );
+        assert_eq!(d.prices(), &[1.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn offer_keeps_the_lowest_finite_objective() {
+        let mut d = DualAscent::new(1, StepSchedule::default());
+        assert!(d.best().is_none());
+        assert!(d.offer(10.0));
+        d.ascend(&[0.0]);
+        assert!(!d.offer(f64::NAN));
+        assert!(!d.offer(11.0));
+        d.ascend(&[0.0]);
+        assert!(d.offer(9.0));
+        assert_eq!(d.best(), Some((2, 9.0)));
+    }
+
+    #[test]
+    fn round_budget_slices_evenly_and_passes_unlimited_through() {
+        let d = DualAscent::new(1, StepSchedule::default());
+        let unlimited = d.round_budget(&SolveBudget::unlimited(), 8);
+        assert!(unlimited.is_unlimited());
+        let sliced = d.round_budget(&SolveBudget::from_millis(80.0), 8);
+        assert!(!sliced.is_unlimited());
+        // An exhausted budget slices to an exhausted slice, not a panic.
+        let spent = SolveBudget::from_millis(0.0);
+        assert!(d.round_budget(&spent, 4).exhausted(0));
+    }
+
+    #[test]
+    fn adaptive_steps_grow_on_persistent_sign_and_halve_on_flip() {
+        let mut d = DualAscent::new(
+            1,
+            StepSchedule {
+                alpha0: 1.0,
+                decay: 0.0,
+            },
+        )
+        .with_adaptive_steps();
+        // Round 0: no history, scale stays 1 → μ = 2.
+        d.ascend(&[2.0]);
+        assert_eq!(d.prices(), &[2.0]);
+        // Round 1: same sign, scale 1.3 → μ = 2 + 1.3·2 = 4.6.
+        d.ascend(&[2.0]);
+        assert!((d.prices()[0] - 4.6).abs() < 1e-12);
+        // Round 2: sign flip, scale 0.65 → μ = 4.6 − 0.65·1 = 3.95.
+        d.ascend(&[-1.0]);
+        assert!((d.prices()[0] - 3.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_steps_ignore_non_finite_violations() {
+        let mut d = DualAscent::new(2, StepSchedule::default()).with_adaptive_steps();
+        d.ascend(&[1.0, f64::NAN]);
+        d.ascend(&[f64::NAN, 1.0]);
+        assert!(d.prices().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn round_budget_never_divides_by_zero_rounds() {
+        let mut d = DualAscent::new(1, StepSchedule::default());
+        for _ in 0..5 {
+            d.ascend(&[0.0]);
+        }
+        // round (5) exceeds max_rounds (3): the slice degrades to "all of
+        // what's left" instead of panicking.
+        let b = d.round_budget(&SolveBudget::from_millis(50.0), 3);
+        assert!(!b.is_unlimited());
+    }
+}

@@ -28,6 +28,10 @@
 //!   predictor-corrector iteration, so a hanging solve surrenders at its
 //!   deadline with the best iterate it reached instead of stalling the
 //!   caller.
+//! * [`dual`] — the projected-subgradient dual-ascent driver
+//!   ([`dual::DualAscent`]) behind price-coordinated decompositions:
+//!   step-size schedule, best-round salvage bookkeeping, and per-round
+//!   budget slicing for deadline-bounded coordination loops.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@
 
 pub mod budget;
 pub mod convex;
+pub mod dual;
 pub mod linalg;
 pub mod lp;
 pub mod model;

@@ -196,10 +196,7 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
     }
 
     // Helper: factor A·D·Aᵀ + reg·I, boosting reg on failure.
-    let factor = |product: &mut NormalEqProduct,
-                  d: &[f64],
-                  symbolic: &LdlSymbolic,
-                  reg0: f64| {
+    let factor = |product: &mut NormalEqProduct, d: &[f64], symbolic: &LdlSymbolic, reg0: f64| {
         let mut reg = reg0;
         for _ in 0..6 {
             let s = product.compute(d, reg);
@@ -290,12 +287,17 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
                 stats.primal_residual, stats.dual_residual, stats.gap
             );
         }
-        if stats.primal_residual < opts.tol && stats.dual_residual < opts.tol && stats.gap < opts.tol
+        if stats.primal_residual < opts.tol
+            && stats.dual_residual < opts.tol
+            && stats.gap < opts.tol
         {
             return Ok(IpmSolution { x, y, s, stats });
         }
         if budgeted && opts.budget.exhausted(iter) {
-            let worst = stats.primal_residual.max(stats.dual_residual).max(stats.gap);
+            let worst = stats
+                .primal_residual
+                .max(stats.dual_residual)
+                .max(stats.gap);
             return Err(Error::DeadlineExceeded {
                 iterations: iter,
                 best: Some(Box::new(Salvage {
@@ -308,7 +310,10 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
 
         // Track the best iterate; detect stalls (no improvement for a while)
         // and fall back to the best point if it is acceptably accurate.
-        let worst_res = stats.primal_residual.max(stats.dual_residual).max(stats.gap);
+        let worst_res = stats
+            .primal_residual
+            .max(stats.dual_residual)
+            .max(stats.gap);
         match &best {
             Some((b_res, ..)) if worst_res >= *b_res => stall_count += 1,
             _ => {
@@ -394,7 +399,9 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
             }
             let atdy = a.mul_transpose_vec(&dy);
             let ds_v: Vec<f64> = (0..n).map(|j| -rc[j] - atdy[j]).collect();
-            let dx_v: Vec<f64> = (0..n).map(|j| r3[j] / s[j] - x[j] / s[j] * ds_v[j]).collect();
+            let dx_v: Vec<f64> = (0..n)
+                .map(|j| r3[j] / s[j] - x[j] / s[j] * ds_v[j])
+                .collect();
             (dx_v, dy, ds_v)
         };
 
@@ -438,7 +445,9 @@ pub fn solve(std_lp: &StandardLp, opts: &IpmOptions) -> Result<IpmSolution> {
             }
         };
 
-        let ap = (opts.step_scale * max_step(&x, &dx_c)).min(1.0).min(primal_cap);
+        let ap = (opts.step_scale * max_step(&x, &dx_c))
+            .min(1.0)
+            .min(primal_cap);
         let ad = (opts.step_scale * max_step(&s, &ds_c)).min(1.0);
 
         for j in 0..n {
@@ -472,7 +481,11 @@ mod tests {
         lp.add_row(ConstraintSense::Le, 4.0, &[(x1, 1.0), (x2, 1.0)]);
         lp.add_row(ConstraintSense::Le, 3.0, &[(x1, 1.0)]);
         let sol = lp.solve().unwrap();
-        assert!((sol.objective + 8.0).abs() < 1e-6, "obj = {}", sol.objective);
+        assert!(
+            (sol.objective + 8.0).abs() < 1e-6,
+            "obj = {}",
+            sol.objective
+        );
         assert!(sol.x[1] > 3.9999);
     }
 
@@ -524,7 +537,11 @@ mod tests {
         lp.add_row(ConstraintSense::Ge, 5.0, &[(x00, 1.0), (x10, 1.0)]);
         lp.add_row(ConstraintSense::Ge, 2.0, &[(x01, 1.0), (x11, 1.0)]);
         let sol = lp.solve().unwrap();
-        assert!((sol.objective - 9.0).abs() < 1e-6, "obj = {}", sol.objective);
+        assert!(
+            (sol.objective - 9.0).abs() < 1e-6,
+            "obj = {}",
+            sol.objective
+        );
     }
 
     #[test]

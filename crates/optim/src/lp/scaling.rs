@@ -169,7 +169,10 @@ mod tests {
         let (scaled, _) = equilibrate(&std_lp, 2);
         let after = spread(&scaled.a);
         assert!(after < before / 100.0, "spread {before} → {after}");
-        assert!(after < 1e3, "after scaling the spread should be modest: {after}");
+        assert!(
+            after < 1e3,
+            "after scaling the spread should be modest: {after}"
+        );
     }
 
     #[test]

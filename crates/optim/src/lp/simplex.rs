@@ -150,8 +150,7 @@ fn run_simplex(
             if aij > EPS {
                 let ratio = t[i * width + ncols] / aij;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_none_or(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio.min(best_ratio);
                     leave = Some(i);

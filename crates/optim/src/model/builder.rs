@@ -196,10 +196,7 @@ mod tests {
         let mut m = Model::new();
         let v = m.vars(4, "v");
         m.minimize(1.0 * v[0] + 2.0 * v[1] + 3.0 * v[2] + 4.0 * v[3]);
-        m.geq(
-            1.0 * v[0] + 1.0 * v[1] + 1.0 * v[2] + 1.0 * v[3],
-            10.0,
-        );
+        m.geq(1.0 * v[0] + 1.0 * v[1] + 1.0 * v[2] + 1.0 * v[3], 10.0);
         m.leq(1.0 * v[0], 4.0);
         let a = m.solve().unwrap();
         let b = m.solve_simplex().unwrap();

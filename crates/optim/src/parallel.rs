@@ -43,7 +43,9 @@ pub struct WorkerBudget {
 impl WorkerBudget {
     /// A budget holding `spare` permits.
     pub fn new(spare: usize) -> Self {
-        Self { spare: AtomicUsize::new(spare) }
+        Self {
+            spare: AtomicUsize::new(spare),
+        }
     }
 
     /// The process-global budget: `available_parallelism − 1` spare permits.
@@ -75,7 +77,10 @@ impl WorkerBudget {
                 Err(seen) => cur = seen,
             }
         }
-        Permits { budget: self, count: granted }
+        Permits {
+            budget: self,
+            count: granted,
+        }
     }
 
     /// Permits currently available (racy snapshot; for tests/telemetry).
@@ -169,7 +174,11 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let want = want.clamp(1, items.len().max(1));
-    let permits = if want > 1 { Some(budget.acquire(want - 1)) } else { None };
+    let permits = if want > 1 {
+        Some(budget.acquire(want - 1))
+    } else {
+        None
+    };
     let workers = 1 + permits.as_ref().map_or(0, Permits::count);
     try_parallel_map(items, workers, f)
 }
@@ -230,6 +239,53 @@ mod tests {
         let want: Vec<Result<usize, String>> = items.iter().map(|&x| Ok(x + 10)).collect();
         assert_eq!(got, want);
         assert_eq!(budget.spare(), 0);
+    }
+
+    #[test]
+    fn budgeted_map_returns_permits_when_a_task_panics() {
+        // The panic-path audit: a panicking item is caught per-item inside
+        // the map, but even so the permits guard must release on *every*
+        // exit path, or one bad shard/repetition would permanently shrink
+        // the process-global pool for all later parallel sites.
+        let budget = WorkerBudget::new(3);
+        let items: Vec<usize> = (0..8).collect();
+        let got = try_parallel_map_budgeted(&items, 4, &budget, |&x| {
+            assert!(x != 3, "shard {x} exploded");
+            x
+        });
+        assert!(got[3].as_ref().unwrap_err().contains("shard 3 exploded"));
+        assert_eq!(got.iter().filter(|r| r.is_ok()).count(), 7);
+        assert_eq!(budget.spare(), 3, "panicking task leaked permits");
+    }
+
+    #[test]
+    fn permits_release_when_unwinding_past_the_guard() {
+        // A panic that unwinds *through* a frame holding Permits (e.g. a
+        // coordinator round dying between acquire and the map) still runs
+        // the RAII drop under catch_unwind.
+        let budget = WorkerBudget::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _permits = budget.acquire(2);
+            assert_eq!(budget.spare(), 0);
+            panic!("round failed while holding permits");
+        }));
+        assert!(result.is_err());
+        assert_eq!(budget.spare(), 2, "unwind leaked permits");
+    }
+
+    #[test]
+    fn repeated_panicking_maps_never_drain_the_pool() {
+        // Regression shape for the repetition-isolation path: many
+        // consecutive failing fan-outs must leave the pool whole each time.
+        let budget = WorkerBudget::new(2);
+        let items: Vec<usize> = (0..4).collect();
+        for _ in 0..10 {
+            let got = try_parallel_map_budgeted(&items, 3, &budget, |_| -> usize {
+                panic!("every item fails");
+            });
+            assert!(got.iter().all(|r| r.is_err()));
+            assert_eq!(budget.spare(), 2);
+        }
     }
 
     #[test]

@@ -160,12 +160,20 @@ fn better_salvage(
 /// Newton/outer budgets, and a gentler barrier growth factor (smaller `mu`
 /// keeps Newton centering well-conditioned when the primary schedule broke
 /// down).
-pub fn relaxed_barrier_options(base: &BarrierOptions, policy: &RetryPolicy, k: usize) -> BarrierOptions {
+pub fn relaxed_barrier_options(
+    base: &BarrierOptions,
+    policy: &RetryPolicy,
+    k: usize,
+) -> BarrierOptions {
     let relax = policy.tol_relax.powi(k as i32);
     let growth = policy.iter_growth.powi(k as i32);
     BarrierOptions {
         t0: base.t0,
-        mu: if k == 0 { base.mu } else { (base.mu / 2f64.powi(k as i32)).max(2.0) },
+        mu: if k == 0 {
+            base.mu
+        } else {
+            (base.mu / 2f64.powi(k as i32)).max(2.0)
+        },
         tol: (base.tol * relax).min(1e-2),
         inner_tol: (base.inner_tol * relax).min(1e-4),
         max_newton: ((base.max_newton as f64) * growth).ceil() as usize,
@@ -553,8 +561,7 @@ mod tests {
             budget: dead,
             ..IpmOptions::default()
         };
-        let (result, report) =
-            solve_lp_with_retry(&toy_lp(), &lp_opts, &RetryPolicy::default());
+        let (result, report) = solve_lp_with_retry(&toy_lp(), &lp_opts, &RetryPolicy::default());
         assert!(matches!(
             result,
             Err(Error::DeadlineExceeded {

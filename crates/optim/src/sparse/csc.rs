@@ -213,8 +213,16 @@ impl CscMatrix {
     ///
     /// Panics on dimension mismatch.
     pub fn mul_transpose_vec_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.nrows, "dimension mismatch in mul_transpose_vec");
-        assert_eq!(y.len(), self.ncols, "dimension mismatch in mul_transpose_vec");
+        assert_eq!(
+            x.len(),
+            self.nrows,
+            "dimension mismatch in mul_transpose_vec"
+        );
+        assert_eq!(
+            y.len(),
+            self.ncols,
+            "dimension mismatch in mul_transpose_vec"
+        );
         for c in 0..self.ncols {
             let mut acc = 0.0;
             for p in self.colptr[c]..self.colptr[c + 1] {

@@ -112,7 +112,10 @@ fn newton_inner_loop_is_allocation_free() {
     let warm = solver
         .solve_with_workspace(Some(&start), &opts, &mut ws)
         .unwrap();
-    assert!(warm.stats.newton_steps > 5, "test program too easy to solve");
+    assert!(
+        warm.stats.newton_steps > 5,
+        "test program too easy to solve"
+    );
 
     let mut solution_allocs = 0;
     let count = allocations_during(|| {
@@ -163,7 +166,10 @@ fn blocked_kernel_newton_loop_is_allocation_free() {
     let warm = solver
         .solve_with_workspace(Some(&start), &opts, &mut ws)
         .unwrap();
-    assert!(warm.stats.newton_steps > 5, "test program too easy to solve");
+    assert!(
+        warm.stats.newton_steps > 5,
+        "test program too easy to solve"
+    );
 
     let solution_allocs = 3;
     let count = allocations_during(|| {

@@ -12,8 +12,12 @@ use proptest::prelude::*;
 /// Strategy: a random transportation LP that is always feasible (total
 /// capacity ≥ total demand by construction).
 fn transportation_lp() -> impl Strategy<Value = LpProblem> {
-    (2usize..5, 2usize..5, proptest::collection::vec(1u32..9, 4..25)).prop_map(
-        |(nsrc, ndst, raw)| {
+    (
+        2usize..5,
+        2usize..5,
+        proptest::collection::vec(1u32..9, 4..25),
+    )
+        .prop_map(|(nsrc, ndst, raw)| {
             let mut lp = LpProblem::new();
             let mut vars = vec![vec![0usize; ndst]; nsrc];
             let mut k = 0usize;
@@ -42,8 +46,7 @@ fn transportation_lp() -> impl Strategy<Value = LpProblem> {
                 );
             }
             lp
-        },
-    )
+        })
 }
 
 proptest! {
@@ -71,33 +74,32 @@ proptest! {
 
 /// Strategy: a random SPD matrix as lower-triangular CSC (B·Bᵀ + n·I).
 fn spd_lower() -> impl Strategy<Value = (optim::sparse::CscMatrix, Vec<f64>)> {
-    (3usize..12, proptest::collection::vec(-1.0f64..1.0, 200))
-        .prop_map(|(n, raw)| {
-            let mut dense = vec![vec![0.0f64; n]; n];
-            let mut k = 0;
-            for row in dense.iter_mut() {
-                for v in row.iter_mut() {
-                    if k % 3 == 0 {
-                        *v = raw[k % raw.len()];
-                    }
-                    k += 1;
+    (3usize..12, proptest::collection::vec(-1.0f64..1.0, 200)).prop_map(|(n, raw)| {
+        let mut dense = vec![vec![0.0f64; n]; n];
+        let mut k = 0;
+        for row in dense.iter_mut() {
+            for v in row.iter_mut() {
+                if k % 3 == 0 {
+                    *v = raw[k % raw.len()];
+                }
+                k += 1;
+            }
+        }
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s: f64 = (0..n).map(|c| dense[i][c] * dense[j][c]).sum();
+                if i == j {
+                    s += n as f64;
+                }
+                if s != 0.0 {
+                    t.push(i, j, s);
                 }
             }
-            let mut t = Triplets::new(n, n);
-            for i in 0..n {
-                for j in 0..=i {
-                    let mut s: f64 = (0..n).map(|c| dense[i][c] * dense[j][c]).sum();
-                    if i == j {
-                        s += n as f64;
-                    }
-                    if s != 0.0 {
-                        t.push(i, j, s);
-                    }
-                }
-            }
-            let b: Vec<f64> = (0..n).map(|i| raw[(i * 7) % raw.len()]).collect();
-            (t.to_csc(), b)
-        })
+        }
+        let b: Vec<f64> = (0..n).map(|i| raw[(i * 7) % raw.len()]).collect();
+        (t.to_csc(), b)
+    })
 }
 
 proptest! {

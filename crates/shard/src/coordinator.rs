@@ -1,0 +1,775 @@
+//! The capacity-price coordination loop over user shards.
+//!
+//! One slot's ℙ₂ couples its users in exactly two places: the explicit
+//! per-cloud capacity rows `Σ_j x_ij ≤ C_i`, and the per-cloud aggregate
+//! reconfiguration regularizer `φ_i(Σ_j x_ij)`. Everything else — the
+//! linear operation/quality costs and the per-(i,j) migration entropies —
+//! is separable across users. The coordinator exploits that:
+//!
+//! 1. **Capacity** is priced by dual decomposition: multipliers `μ_i ≥ 0`
+//!    on `Σ_j x_ij ≤ C_i`, updated by projected-subgradient ascent
+//!    ([`optim::dual::DualAscent`]) on each round's violation.
+//! 2. **The aggregate entropy** is linearized at a relaxed estimate `ŷ_i`
+//!    of the cloud total: each round charges every shard the tangent price
+//!    `g_i = φ_i'(ŷ_i)` and updates `ŷ ← (1−β)·ŷ + β·y` afterwards. At a
+//!    fixed point (`ŷ = y`) the tangent slope equals the true gradient, so
+//!    the decomposed KKT system coincides with the monolithic one.
+//!
+//! Both prices fold into the shard subproblems as an operation-price
+//! adjustment `a'_i = a_i + (μ_i + g_i)/w_op` — the restricted programs are
+//! then ordinary ℙ₂ instances (reconfiguration prices zeroed, capacities at
+//! the full `C_i`) solved by the existing [`P2Workspace`] machinery, warm
+//! across rounds *and* slots.
+//!
+//! Every round certifies a rigorous duality gap. The product of the shard
+//! regions contains the original feasible region, and the tangent line
+//! minorizes `φ_i`, so for round prices `(μ, g)` with shard minima bounded
+//! below by `obj_s − gap_s` (the barrier's certified per-shard gap):
+//!
+//! ```text
+//! D = Σ_s (obj_s − gap_s) + Σ_i [φ_i(ŷ_i) − g_i·ŷ_i] − Σ_i μ_i·C_i ≤ F*,
+//! ```
+//!
+//! and `F(x_proj) − D` bounds the adopted decision's suboptimality. The
+//! loop terminates when the merged point's relative capacity violation and
+//! this relative gap both fall below tolerance; a deadline or round cap
+//! instead adopts the best exactly-feasible projected round seen
+//! ([`DualAscent::offer`]).
+
+use edgealloc::algorithms::SlotInput;
+use edgealloc::allocation::Allocation;
+use edgealloc::health::{FallbackRung, SlotHealth};
+use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
+use edgealloc::{Error, Result};
+use optim::budget::SolveBudget;
+use optim::convex::{BarrierOptions, SchurKernel};
+use optim::dual::{DualAscent, StepSchedule};
+use optim::parallel::{try_parallel_map_budgeted, WorkerBudget};
+use std::sync::Mutex;
+
+use crate::merge::{merge_shards, project_exact, restrict};
+use crate::plan::ShardPlan;
+
+/// Tuning of the coordination loop (see [`crate::OnlineSharded`] for the
+/// algorithm-level builder that fills this in).
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Target shard count (effective count is capped at the user count).
+    pub shards: usize,
+    /// Coordination rounds per slot before adopting the best round.
+    pub max_rounds: usize,
+    /// Stop early after this many consecutive rounds without a new best
+    /// projected objective (the dual has stalled short of tolerance; more
+    /// rounds only burn the budget).
+    pub stall_rounds: usize,
+    /// Relative duality-gap tolerance for convergence. The gap is measured
+    /// on the exactly-feasible projected point, so meeting it certifies the
+    /// adopted decision within `tol_gap` of the slot optimum.
+    pub tol_gap: f64,
+    /// Relative capacity-violation tolerance (pre-projection) for
+    /// convergence. The projection repairs any violation exactly, so this
+    /// only bounds how far the dual iterate may sit from primal
+    /// feasibility when the gap test passes — it guards against adopting a
+    /// gap computed at a wildly infeasible merge, not decision quality.
+    pub tol_violation: f64,
+    /// Relaxation factor `β ∈ (0, 1]` of the aggregate estimate `ŷ`.
+    pub relaxation: f64,
+    /// Multiplier on the auto-scaled dual step `α₀`.
+    pub step_scale: f64,
+    /// Dual step decay `δ` (`α_k = α₀/(1 + δ·k)`).
+    pub step_decay: f64,
+    /// ℙ₂ regularization parameters.
+    pub eps: Epsilons,
+    /// Newton-step Schur kernel for the shard solves.
+    pub kernel: SchurKernel,
+    /// Worker-thread target per shard solve (leased from the global
+    /// [`WorkerBudget`], like the monolithic solver's).
+    pub solver_threads: usize,
+    /// Barrier options for the shard solves.
+    pub options: BarrierOptions,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            shards: 4,
+            max_rounds: 8,
+            stall_rounds: 4,
+            tol_gap: 2e-5,
+            tol_violation: 1e-2,
+            relaxation: 0.7,
+            step_scale: 1.0,
+            step_decay: 0.1,
+            eps: Epsilons::default(),
+            kernel: SchurKernel::Auto,
+            solver_threads: 1,
+            options: BarrierOptions::default(),
+        }
+    }
+}
+
+/// One shard's persistent solve state: its user columns, a retained
+/// [`P2Workspace`] (structure is stable across rounds and slots — zeroed
+/// reconfiguration prices keep the group terms absent), and the latest
+/// solution as the next warm start.
+#[derive(Debug)]
+struct ShardState {
+    users: Vec<usize>,
+    workloads: Vec<f64>,
+    workspace: Option<P2Workspace>,
+    warm: Option<Vec<f64>>,
+    /// Terminal barrier parameter `t = (m+n)/gap` of the last clean solve,
+    /// seeding the next warm solve's `t0` (the warm point sits next to the
+    /// end of the previous central path; re-walking it from `t0 = 1` is
+    /// what makes un-seeded coordination rounds expensive).
+    last_t_final: Option<f64>,
+    // Per-slot scratch, refreshed by `begin_slot`.
+    attachment: Vec<usize>,
+    access_delay: Vec<f64>,
+    prev: Allocation,
+}
+
+impl ShardState {
+    fn new(users: Vec<usize>, input: &SlotInput<'_>) -> Self {
+        let workloads = users.iter().map(|&j| input.workloads[j]).collect();
+        ShardState {
+            users,
+            workloads,
+            workspace: None,
+            warm: None,
+            last_t_final: None,
+            attachment: Vec::new(),
+            access_delay: Vec::new(),
+            prev: Allocation::zeros(0, 0),
+        }
+    }
+
+    fn begin_slot(&mut self, input: &SlotInput<'_>, prev: &Allocation) {
+        self.attachment = self.users.iter().map(|&j| input.attachment[j]).collect();
+        self.access_delay = self.users.iter().map(|&j| input.access_delay[j]).collect();
+        // Workloads can change under sanitization (a corrupted λ repaired
+        // mid-horizon), so refresh them too.
+        self.workloads = self.users.iter().map(|&j| input.workloads[j]).collect();
+        self.prev = restrict(prev, &self.users);
+    }
+}
+
+/// What one shard's round solve produced.
+struct ShardSolve {
+    x: Vec<f64>,
+    objective: f64,
+    /// Certified (absolute) duality gap of the shard solve; `INFINITY`
+    /// marks a solution without a usable bound (salvaged iterate with a
+    /// non-finite residual).
+    gap: f64,
+    newton_steps: usize,
+    deadline_hit: bool,
+}
+
+/// A fully evaluated coordination round kept as the adoption candidate.
+struct RoundCandidate {
+    x: Allocation,
+    max_violation: f64,
+    rel_gap: f64,
+    /// True ℙ₂ objective of the projected point — with `rel_gap` it bounds
+    /// the absolute suboptimality, which seeds the polish solve's `t0`.
+    objective: f64,
+}
+
+/// Per-horizon coordinator: the shard plan, per-shard solve states, and the
+/// capacity prices `μ` carried across slots (consecutive slots price the
+/// same clouds under similar load, so warm prices typically converge in one
+/// or two rounds).
+#[derive(Debug)]
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    plan: ShardPlan,
+    states: Vec<ShardState>,
+    prices: Vec<f64>,
+    /// Lazily built monolithic workspace for the hybrid refinement
+    /// ([`Coordinator::polish`]); retained across slots like the shard
+    /// workspaces so repeated polishes pay no rebuild.
+    mono: Option<P2Workspace>,
+}
+
+impl Coordinator {
+    /// Plans shards for the instance shape seen in `input` (balanced by
+    /// workload) and prepares per-shard states.
+    pub fn new(cfg: CoordinatorConfig, input: &SlotInput<'_>) -> Self {
+        let plan = ShardPlan::balanced(input.workloads, cfg.shards);
+        let states = (0..plan.num_shards())
+            .map(|s| ShardState::new(plan.users(s).to_vec(), input))
+            .collect();
+        Coordinator {
+            cfg,
+            plan,
+            states,
+            prices: vec![0.0; input.num_clouds()],
+            mono: None,
+        }
+    }
+
+    /// The plan this coordinator decomposes with.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Whether this coordinator still matches the instance shape.
+    pub fn matches(&self, input: &SlotInput<'_>, shards: usize) -> bool {
+        self.plan.num_users() == input.num_users()
+            && self.plan.num_shards() == shards.min(input.num_users())
+            && self.prices.len() == input.num_clouds()
+    }
+
+    /// Decides one slot by price-coordinated shard solves. On success the
+    /// returned allocation is **exactly** feasible (see
+    /// [`project_exact`]); `health` receives the shard telemetry either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no coordination round produced an adoptable decision —
+    /// the caller (`OnlineSharded`) then falls back to its monolithic path.
+    pub fn solve_slot(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        budget: &SolveBudget,
+        health: &mut SlotHealth,
+    ) -> Result<Allocation> {
+        let num_clouds = input.num_clouds();
+        let num_users = input.num_users();
+        let w_op = input.weights.operation;
+        if !(w_op > 0.0) {
+            return Err(Error::Invalid(
+                "price coordination needs a positive operation weight".into(),
+            ));
+        }
+        health.shards = self.plan.num_shards();
+        health.schur_kernel = Some(kernel_label(self.cfg.kernel).to_string());
+        for st in &mut self.states {
+            st.begin_slot(input, prev);
+        }
+        let caps: Vec<f64> = (0..num_clouds).map(|i| input.system.capacity(i)).collect();
+        let phi: Vec<Option<optim::convex::ScalarTerm>> = (0..num_clouds)
+            .map(|i| p2::reconfig_term(input, prev, i, self.cfg.eps.eps1))
+            .collect();
+        let mut ascent = DualAscent::warm(
+            self.prices.clone(),
+            StepSchedule {
+                alpha0: self.step_alpha0(input, &caps),
+                decay: self.cfg.step_decay,
+            },
+        )
+        .with_adaptive_steps();
+        // Linearization point of the aggregate entropy: the previous slot's
+        // totals, where the tangent slope is exactly zero — round 0 solves
+        // the unregularized-aggregate problem and later rounds correct.
+        let mut yhat: Vec<f64> = (0..num_clouds).map(|i| prev.cloud_total(i)).collect();
+        let zero_reconfig = vec![0.0; num_clouds];
+
+        let mut adopted: Option<RoundCandidate> = None;
+        let mut best: Option<RoundCandidate> = None;
+        let mut last_err: Option<Error> = None;
+        let mut deadline_hit = false;
+        let mut stalled_rounds = 0usize;
+        let mut best_gap = f64::INFINITY;
+        // Last round's (linearization point, aggregate response) — the
+        // second sample the secant update on ŷ needs.
+        let mut prev_response: Option<(Vec<f64>, Vec<f64>)> = None;
+        for _round in 0..self.cfg.max_rounds {
+            if !budget.is_unlimited() && budget.exhausted(0) {
+                deadline_hit = true;
+                break;
+            }
+            let round_budget = ascent.round_budget(budget, self.cfg.max_rounds);
+            let g: Vec<f64> = phi
+                .iter()
+                .zip(&yhat)
+                .map(|(t, &y)| t.map_or(0.0, |t| t.deriv(y)))
+                .collect();
+            let adjusted: Vec<f64> = (0..num_clouds)
+                .map(|i| input.operation_prices[i] + (ascent.prices()[i] + g[i]) / w_op)
+                .collect();
+            if adjusted.iter().any(|a| !a.is_finite()) {
+                last_err = Some(Error::Invalid(
+                    "coordination produced non-finite shard prices".into(),
+                ));
+                break;
+            }
+            let solves =
+                match self.solve_round(input, &adjusted, &zero_reconfig, &round_budget, health) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        last_err = Some(e);
+                        break;
+                    }
+                };
+            health.coord_rounds += 1;
+            health.attempts += 1;
+            deadline_hit |= solves.iter().any(|s| s.deadline_hit);
+            health.newton_steps += solves.iter().map(|s| s.newton_steps).sum::<usize>();
+
+            let parts: Vec<Vec<f64>> = solves.iter().map(|s| s.x.clone()).collect();
+            let merged = merge_shards(&self.plan, &parts, num_clouds, num_users);
+            let y: Vec<f64> = (0..num_clouds).map(|i| merged.cloud_total(i)).collect();
+            let violation: Vec<f64> = (0..num_clouds).map(|i| y[i] - caps[i]).collect();
+            let max_violation = (0..num_clouds)
+                .map(|i| violation[i].max(0.0) / caps[i].max(1.0))
+                .fold(0.0, f64::max);
+
+            let mut projected = merged;
+            let candidate = match project_exact(input, &mut projected) {
+                Ok(()) => {
+                    match p2::slot_objective(input, prev, &projected, self.cfg.eps) {
+                        Ok(f_proj) => {
+                            // Dual lower bound at this round's prices.
+                            let mut d: f64 = solves.iter().map(|s| s.objective - s.gap).sum();
+                            for i in 0..num_clouds {
+                                if let Some(t) = phi[i] {
+                                    d += t.value(yhat[i]) - g[i] * yhat[i];
+                                }
+                                d -= ascent.prices()[i] * caps[i];
+                            }
+                            // A dual "bound" sitting meaningfully *above*
+                            // the primal objective is numerically broken
+                            // (cancellation at extreme price scales, e.g. a
+                            // 1e9 fault spike) — treat it as no certificate
+                            // at all rather than as a perfect gap of zero.
+                            let rel = (f_proj - d) / f_proj.abs().max(1.0);
+                            let rel_gap = if d.is_finite() && rel >= -1e-9 {
+                                rel.max(0.0)
+                            } else {
+                                f64::INFINITY
+                            };
+                            if std::env::var_os("SHARD_DEBUG").is_some() {
+                                let gap_sum: f64 = solves.iter().map(|s| s.gap).sum();
+                                let mu_slack: f64 = (0..num_clouds)
+                                    .map(|i| ascent.prices()[i] * (caps[i] - y[i]))
+                                    .sum();
+                                let curv: f64 = (0..num_clouds)
+                                    .filter_map(|i| {
+                                        phi[i].map(|t| {
+                                            t.value(y[i])
+                                                - t.value(yhat[i])
+                                                - g[i] * (y[i] - yhat[i])
+                                        })
+                                    })
+                                    .sum();
+                                eprintln!(
+                                    "  round {}: relgap {rel_gap:.3e} shardgaps {gap_sum:.3e} \
+                                     muslack {mu_slack:.3e} curv {curv:.3e} viol {max_violation:.3e}",
+                                    ascent.round(),
+                                );
+                            }
+                            Some(RoundCandidate {
+                                x: projected,
+                                max_violation,
+                                rel_gap,
+                                objective: f_proj,
+                            })
+                        }
+                        Err(e) => {
+                            health.note_error(&e);
+                            None
+                        }
+                    }
+                }
+                Err(e) => {
+                    health.note_error(&e);
+                    None
+                }
+            };
+            // Stash warm starts for the next round (and the next slot).
+            for (st, s) in self.states.iter_mut().zip(&solves) {
+                st.warm = Some(s.x.clone());
+            }
+            let mut meaningful = false;
+            if let Some(c) = candidate {
+                let converged =
+                    c.max_violation <= self.cfg.tol_violation && c.rel_gap <= self.cfg.tol_gap;
+                // The tangent fixed-point contracts linearly (factor
+                // ~0.7–0.9 per round), so any strict improvement counts as
+                // progress; only a window of rounds with *no* new best
+                // reads as a genuine stall.
+                meaningful = c.rel_gap < best_gap;
+                if ascent.offer(c.rel_gap) || best.is_none() {
+                    best_gap = best_gap.min(c.rel_gap);
+                    best = Some(RoundCandidate {
+                        x: c.x.clone(),
+                        max_violation: c.max_violation,
+                        rel_gap: c.rel_gap,
+                        objective: c.objective,
+                    });
+                }
+                if converged {
+                    adopted = Some(c);
+                    break;
+                }
+            }
+            // A run of rounds that fail to tighten the best projected gap
+            // means the dual has stalled short of tolerance — adopt what we
+            // have rather than burning the remaining budget.
+            if meaningful {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if best.is_some() && stalled_rounds >= self.cfg.stall_rounds {
+                    break;
+                }
+            }
+            // Advance the linearization point toward the fixed point
+            // `y(ŷ) = ŷ`. Plain relaxed Picard contracts linearly (factor
+            // up to ~0.9 when the subproblems are flat along the aggregate
+            // direction), so with two samples of the response in hand we
+            // take a safeguarded per-cloud secant step on the residual
+            // `r(ŷ) = y(ŷ) − ŷ` instead, falling back to Picard when the
+            // secant is degenerate or extrapolates wildly.
+            let yhat_now = yhat.clone();
+            for i in 0..num_clouds {
+                let r = y[i] - yhat[i];
+                let mut next = (1.0 - self.cfg.relaxation) * yhat[i] + self.cfg.relaxation * y[i];
+                if let Some((ph, py)) = &prev_response {
+                    let r_prev = py[i] - ph[i];
+                    let denom = r - r_prev;
+                    if denom.abs() > 1e-12 * r.abs().max(r_prev.abs()).max(1e-12) {
+                        let cand = yhat[i] - r * (yhat[i] - ph[i]) / denom;
+                        let lo = yhat[i].min(y[i]);
+                        let hi = yhat[i].max(y[i]);
+                        let span = (hi - lo).max(1e-9 * hi.max(1.0));
+                        if cand.is_finite()
+                            && cand >= 0.0
+                            && (lo - 10.0 * span..=hi + 10.0 * span).contains(&cand)
+                        {
+                            next = cand;
+                        }
+                    }
+                }
+                if next.is_finite() && next >= 0.0 {
+                    yhat[i] = next;
+                }
+            }
+            prev_response = Some((yhat_now, y.clone()));
+            ascent.ascend(&violation);
+        }
+        self.prices = ascent.prices().to_vec();
+        health.deadline_hit |= deadline_hit;
+        // Hybrid refinement: coordination stalled (or ran out of rounds)
+        // short of the gap tolerance. The best projected round is within
+        // `rel_gap` of the slot optimum, so one warm-started monolithic
+        // solve only has to walk the short tail of the central path — far
+        // cheaper than the cold solve the monolithic path would pay, and it
+        // closes the certified gap exactly.
+        if adopted.is_none() && (budget.is_unlimited() || !budget.exhausted(0)) {
+            if let Some(b) = best.as_ref() {
+                match self.polish(input, prev, budget, b, health) {
+                    // Adopt the polish only when it actually improves on the
+                    // warm round — a budget-starved or badly seeded polish
+                    // must not replace a better decision we already hold.
+                    Ok(c) if c.objective <= b.objective || !b.objective.is_finite() => {
+                        health.polished = true;
+                        adopted = Some(c);
+                    }
+                    Ok(_) => {}
+                    Err(e) => health.note_error(format!("polish: {e}")),
+                }
+            }
+        }
+        let outcome = adopted.or_else(|| {
+            best.take().inspect(|_| {
+                // The tolerance was not met; record how the loop ended.
+                health.rung = if deadline_hit {
+                    FallbackRung::DeadlineSalvage
+                } else {
+                    FallbackRung::RelaxedTolerance
+                };
+            })
+        });
+        match outcome {
+            Some(c) => {
+                health.max_capacity_violation = Some(c.max_violation);
+                // A round can be adoptable without a usable dual bound
+                // (salvaged shard iterates); keep the JSON clean of ±inf.
+                health.duality_gap = c.rel_gap.is_finite().then_some(c.rel_gap);
+                health.final_residual = health.duality_gap;
+                Ok(c.x)
+            }
+            None => Err(last_err.unwrap_or_else(|| {
+                Error::Invalid("no coordination round produced a decision".into())
+            })),
+        }
+    }
+
+    /// The hybrid refinement solve: the full slot ℙ₂ (true reconfiguration
+    /// prices, explicit capacity rows), warm-started from the best
+    /// projected coordination round. The round's certified absolute gap
+    /// `rel_gap · |F|` tells how close the warm point is to optimal, which
+    /// places the barrier restart `t0 ≈ (m + n) / gap` — the solve resumes
+    /// the central path where coordination left off instead of re-walking
+    /// it from scratch.
+    fn polish(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        budget: &SolveBudget,
+        warm: &RoundCandidate,
+        health: &mut SlotHealth,
+    ) -> Result<RoundCandidate> {
+        let ws = match self.mono.take() {
+            Some(mut ws) => {
+                ws.refresh(input, prev)?;
+                ws
+            }
+            None => P2Workspace::new_with_kernel(
+                input,
+                prev,
+                self.cfg.eps,
+                CapacityMode::Explicit,
+                self.cfg.kernel,
+            )?,
+        };
+        self.mono = Some(ws);
+        let ws = self.mono.as_mut().expect("workspace was just stored");
+        ws.set_schur_threads(self.cfg.solver_threads);
+        let total_constraints = (ws.solver().num_rows() + ws.solver().num_vars()) as f64;
+        let mut opts = self.cfg.options.clone();
+        opts.budget = *budget;
+        let cold_opts = opts.clone();
+        // Seed `t0` from the warm candidate's own certified absolute gap:
+        // a point within `gap` of optimal supports restarting the central
+        // path around `t ≈ (m + n)/gap`. Never seed from a *previous*
+        // slot's terminal `t` — a too-high `t0` makes the barrier's
+        // analytic gap `(m + n)/t` look converged at the (uncentered) warm
+        // point and rubber-stamps it with a bogus certificate.
+        let abs_gap = warm.rel_gap * warm.objective.abs().max(1.0);
+        if abs_gap.is_finite() && abs_gap > 0.0 {
+            let t0 = 0.1 * total_constraints / abs_gap;
+            if t0.is_finite() && t0 > 0.0 {
+                opts.t0 = opts.t0.max(t0.min(1e8));
+            }
+        }
+        // The projected round sits exactly on the capacity/demand
+        // boundaries; a small blend toward the strictly-interior
+        // proportional point gives the barrier an interior start while
+        // keeping the warm point's near-optimality.
+        let start: Option<Vec<f64>> = p2::proportional_start(input).map(|p| {
+            warm.x
+                .as_flat()
+                .iter()
+                .zip(&p)
+                .map(|(&x, &q)| 0.99 * x + 0.01 * q)
+                .collect()
+        });
+        let attempt = match ws.solve(start.as_deref(), &opts) {
+            Err(Error::Solver(optim::Error::BadStartingPoint(_))) if start.is_some() => {
+                ws.solve(None, &cold_opts)
+            }
+            other => other,
+        };
+        let sol = attempt?;
+        health.attempts += 1;
+        health.newton_steps += sol.stats.newton_steps;
+        let num_clouds = input.num_clouds();
+        let mut x = Allocation::from_flat(num_clouds, input.num_users(), sol.x);
+        let max_violation = (0..num_clouds)
+            .map(|i| {
+                let cap = input.system.capacity(i);
+                (x.cloud_total(i) - cap).max(0.0) / cap.max(1.0)
+            })
+            .fold(0.0, f64::max);
+        project_exact(input, &mut x)?;
+        let objective = p2::slot_objective(input, prev, &x, self.cfg.eps)?;
+        let rel_gap = if sol.stats.gap.is_finite() {
+            sol.stats.gap.max(0.0) / objective.abs().max(1.0)
+        } else {
+            f64::INFINITY
+        };
+        Ok(RoundCandidate {
+            x,
+            max_violation,
+            rel_gap,
+            objective,
+        })
+    }
+
+    /// Auto-scale of the dual step: `μ` moves in cost-per-resource units,
+    /// violations in resource units, so `α₀ ~ (mean priced cost per unit) /
+    /// (mean capacity)` makes the first correction shift prices by the
+    /// order of the operation prices when a cloud is ~100% over capacity.
+    fn step_alpha0(&self, input: &SlotInput<'_>, caps: &[f64]) -> f64 {
+        let finite_mean = |vals: &mut dyn Iterator<Item = f64>| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for v in vals {
+                if v.is_finite() {
+                    sum += v.abs();
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+        let mean_price = finite_mean(&mut input.operation_prices.iter().copied());
+        let mean_cap = finite_mean(&mut caps.iter().copied()).max(1e-9);
+        let alpha = self.cfg.step_scale * input.weights.operation * (mean_price + 1e-3) / mean_cap;
+        if alpha.is_finite() && alpha > 0.0 {
+            alpha
+        } else {
+            1e-3
+        }
+    }
+
+    /// Fans the round's restricted ℙ₂ solves across the shards (extra
+    /// workers leased from the global [`WorkerBudget`]; a drained pool runs
+    /// them inline). All shards share the round's absolute deadline rather
+    /// than pre-split slices, so sequential execution hands unused time
+    /// forward and parallel execution gives each shard the full window.
+    fn solve_round(
+        &mut self,
+        input: &SlotInput<'_>,
+        adjusted: &[f64],
+        zero_reconfig: &[f64],
+        round_budget: &SolveBudget,
+        health: &mut SlotHealth,
+    ) -> Result<Vec<ShardSolve>> {
+        let cfg = &self.cfg;
+        let want = self.states.len();
+        let items: Vec<Mutex<&mut ShardState>> = self.states.iter_mut().map(Mutex::new).collect();
+        let results = try_parallel_map_budgeted(&items, want, WorkerBudget::global(), |cell| {
+            let st = &mut *cell.lock().expect("shard state lock poisoned");
+            solve_shard(st, input, adjusted, zero_reconfig, cfg, round_budget)
+        });
+        let mut solves = Vec::with_capacity(results.len());
+        for (s, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(Ok(solve)) => solves.push(solve),
+                Ok(Err(e)) => {
+                    health.note_error(format!("shard {s}: {e}"));
+                    return Err(e);
+                }
+                Err(panic_msg) => {
+                    let e = Error::Invalid(format!("shard {s} solver {panic_msg}"));
+                    health.note_error(&e);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(solves)
+    }
+}
+
+/// One shard's restricted ℙ₂ for the round: the shard's own users, the
+/// round's adjusted operation prices, zeroed reconfiguration prices (the
+/// aggregate term lives in the coordinator's tangent price), and the full
+/// per-cloud capacities as explicit rows.
+fn solve_shard(
+    st: &mut ShardState,
+    parent: &SlotInput<'_>,
+    adjusted: &[f64],
+    zero_reconfig: &[f64],
+    cfg: &CoordinatorConfig,
+    budget: &SolveBudget,
+) -> Result<ShardSolve> {
+    let shard_input = SlotInput {
+        t: parent.t,
+        system: parent.system,
+        workloads: &st.workloads,
+        operation_prices: adjusted,
+        attachment: st.attachment.clone(),
+        access_delay: st.access_delay.clone(),
+        reconfig_prices: zero_reconfig,
+        migration_out: parent.migration_out,
+        migration_in: parent.migration_in,
+        weights: parent.weights,
+    };
+    let ws = match st.workspace.take() {
+        Some(mut ws) => {
+            ws.refresh(&shard_input, &st.prev)?;
+            ws
+        }
+        None => P2Workspace::new_with_kernel(
+            &shard_input,
+            &st.prev,
+            cfg.eps,
+            CapacityMode::Explicit,
+            cfg.kernel,
+        )?,
+    };
+    st.workspace = Some(ws);
+    let ws = st.workspace.as_mut().expect("workspace was just stored");
+    ws.set_schur_threads(cfg.solver_threads);
+    let total_constraints = (ws.solver().num_rows() + ws.solver().num_vars()) as f64;
+    let mut opts = cfg.options.clone();
+    opts.budget = *budget;
+    let cold_opts = opts.clone();
+    // A warm iterate from the previous round sits near the end of that
+    // round's central path; re-walking the path from `t0 = 1` would cost
+    // dozens of Newton steps per round. Seed `t0` one decade below the
+    // previous terminal `t` (prices moved, so a little backtracking is
+    // due; `BadStartingPoint` below catches a seed the warm point cannot
+    // actually support).
+    // The cap keeps a freak terminal `t` (tiny certified gap on a badly
+    // scaled round) from seeding solves that "converge" in one step.
+    if st.warm.is_some() {
+        if let Some(t_final) = st.last_t_final {
+            opts.t0 = opts.t0.max((t_final * 1e-1).min(1e8));
+        }
+    }
+    let proportional = p2::proportional_start(&shard_input);
+    let start = st.warm.as_deref().or(proportional.as_deref());
+    let attempt = match ws.solve(start, &opts) {
+        // A warm start from the previous round can sit (numerically) on the
+        // boundary after a price change; retry from phase-I at the cold t0.
+        Err(Error::Solver(optim::Error::BadStartingPoint(_))) if start.is_some() => {
+            ws.solve(None, &cold_opts)
+        }
+        other => other,
+    };
+    match attempt {
+        Ok(sol) => {
+            if sol.stats.gap.is_finite() && sol.stats.gap > 0.0 {
+                st.last_t_final = Some(total_constraints / sol.stats.gap);
+            }
+            Ok(ShardSolve {
+                objective: sol.objective,
+                gap: if sol.stats.gap.is_finite() {
+                    sol.stats.gap.max(0.0)
+                } else {
+                    f64::INFINITY
+                },
+                newton_steps: sol.stats.newton_steps,
+                deadline_hit: false,
+                x: sol.x,
+            })
+        }
+        // The round's window closed mid-solve: the best interior iterate is
+        // strictly feasible for the shard region, and its certified residual
+        // still yields a valid (if loose) dual bound.
+        Err(Error::Solver(optim::Error::DeadlineExceeded {
+            best: Some(salvage),
+            ..
+        })) => Ok(ShardSolve {
+            objective: salvage.objective,
+            gap: if salvage.residual.is_finite() {
+                salvage.residual.max(0.0)
+            } else {
+                f64::INFINITY
+            },
+            newton_steps: 0,
+            deadline_hit: true,
+            x: salvage.x,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+fn kernel_label(kernel: SchurKernel) -> &'static str {
+    match kernel {
+        SchurKernel::Dense => "dense",
+        SchurKernel::Blocked => "blocked",
+        SchurKernel::Auto => "auto",
+    }
+}

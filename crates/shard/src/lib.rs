@@ -1,0 +1,38 @@
+//! Sharded per-slot solves: price-coordinated dual decomposition across
+//! user shards.
+//!
+//! The paper's online algorithm solves one regularized convex program ℙ₂
+//! per slot over all `I × J` allocation variables. The blocked Schur kernel
+//! (see `optim::convex`) made the Newton *steps* near-linear in `J`, but
+//! the whole-slot solve is still one monolithic Newton system, and its
+//! superlinear growth in `J` eventually dominates. This crate decomposes
+//! the slot across **users** instead:
+//!
+//! 1. [`ShardPlan`] partitions the `J` users into `S` workload-balanced
+//!    shards.
+//! 2. Each shard solves its own restricted ℙ₂ — its users only, full cloud
+//!    set — with the existing `P2Workspace` machinery, warm across rounds
+//!    and slots ([`coordinator`]).
+//! 3. A capacity-price loop coordinates the shards: dual ascent on the
+//!    coupling constraints `Σ_j x_{ij} ≤ C_i` plus a tangent linearization
+//!    of the per-cloud aggregate reconfiguration regularizer, iterated
+//!    until the merged solution's capacity violation and a rigorously
+//!    certified duality gap fall below tolerance.
+//! 4. [`merge::merge_shards`] reassembles the shard solutions and
+//!    [`merge::project_exact`] turns the merged point into a decision that
+//!    satisfies demand and capacity **exactly** under floating-point
+//!    summation.
+//!
+//! [`OnlineSharded`] packages the loop as an `OnlineAlgorithm` drop-in
+//! (name `online-sharded`) with a monolithic fallback for the cases
+//! decomposition cannot handle.
+
+pub mod coordinator;
+pub mod merge;
+pub mod plan;
+pub mod sharded;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use merge::{merge_shards, project_exact, restrict};
+pub use plan::ShardPlan;
+pub use sharded::OnlineSharded;

@@ -1,0 +1,242 @@
+//! `online-sharded` — the sharded online algorithm.
+//!
+//! [`OnlineSharded`] decides each slot with the price-coordinated shard
+//! decomposition of [`crate::coordinator`], and degrades to the monolithic
+//! [`OnlineRegularized`] solve (explicit capacity rows, same kernel and
+//! options) whenever sharding cannot apply or coordination fails:
+//!
+//! - fewer than two effective shards (`min(S, J) < 2`) — there is nothing
+//!   to decompose, and the monolithic path skips the coordination overhead;
+//! - a non-positive operation weight — the price adjustment `μ/w_op` is
+//!   undefined, so the prices cannot be folded into the shard subproblems;
+//! - the coordinator produced no adoptable round (e.g. a fault stripped the
+//!   capacity interior) — the monolithic ladder gets the slot's remaining
+//!   budget, and [`run_online`]'s carry-forward rung backstops *that*.
+//!
+//! [`run_online`]: edgealloc::algorithms::run_online
+
+use edgealloc::algorithms::{OnlineAlgorithm, OnlineRegularized, SlotInput};
+use edgealloc::allocation::Allocation;
+use edgealloc::health::SlotHealth;
+use edgealloc::programs::p2::Epsilons;
+use edgealloc::Result;
+use optim::budget::SolveBudget;
+use optim::convex::{BarrierOptions, SchurKernel};
+use std::time::Instant;
+
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+
+/// The sharded online algorithm (see the crate docs for the decomposition).
+///
+/// # Example
+///
+/// ```
+/// use edgealloc::prelude::*;
+/// use shard::OnlineSharded;
+///
+/// # fn main() -> Result<(), edgealloc::Error> {
+/// let inst = Instance::fig1_example(2.1, true);
+/// let mut alg = OnlineSharded::new(2);
+/// let traj = run_online(&inst, &mut alg)?;
+/// assert_eq!(traj.allocations.len(), inst.num_slots());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OnlineSharded {
+    cfg: CoordinatorConfig,
+    slot_deadline_ms: Option<f64>,
+    coordinator: Option<Coordinator>,
+    inner: OnlineRegularized,
+    last_health: Option<SlotHealth>,
+}
+
+impl OnlineSharded {
+    /// Creates the algorithm with `shards` target shards and default
+    /// regularization (`ε₁ = ε₂ = 0.5`).
+    pub fn new(shards: usize) -> Self {
+        let cfg = CoordinatorConfig {
+            shards: shards.max(1),
+            ..CoordinatorConfig::default()
+        };
+        let inner = build_inner(&cfg);
+        OnlineSharded {
+            cfg,
+            slot_deadline_ms: None,
+            coordinator: None,
+            inner,
+            last_health: None,
+        }
+    }
+
+    /// Sets `ε₁ = ε₂ = ε` (the Figure-4 sweep's knob, spelled like
+    /// [`OnlineRegularized::with_epsilon`]).
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.cfg.eps = Epsilons {
+            eps1: eps,
+            eps2: eps,
+        };
+        self.rebuild();
+        self
+    }
+
+    /// Sets both regularization parameters explicitly.
+    pub fn with_epsilons(mut self, eps: Epsilons) -> Self {
+        self.cfg.eps = eps;
+        self.rebuild();
+        self
+    }
+
+    /// Selects the Newton-step Schur kernel for both the shard solves and
+    /// the monolithic fallback.
+    pub fn with_schur_kernel(mut self, kernel: SchurKernel) -> Self {
+        self.cfg.kernel = kernel;
+        self.rebuild();
+        self
+    }
+
+    /// Worker-thread target per shard solve (and for the fallback's
+    /// coupling products), leased from the global worker budget.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.cfg.solver_threads = threads.max(1);
+        self.rebuild();
+        self
+    }
+
+    /// Barrier options for the shard solves and the fallback.
+    pub fn with_solver_options(mut self, options: BarrierOptions) -> Self {
+        self.cfg.options = options;
+        self.rebuild();
+        self
+    }
+
+    /// Caps the coordination rounds per slot.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.cfg.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Sets the convergence tolerances: relative duality gap and relative
+    /// capacity violation.
+    pub fn with_tolerances(mut self, tol_gap: f64, tol_violation: f64) -> Self {
+        self.cfg.tol_gap = tol_gap;
+        self.cfg.tol_violation = tol_violation;
+        self
+    }
+
+    /// Wall-clock budget per slot, in milliseconds (`None` = unlimited),
+    /// spelled like [`OnlineRegularized::with_slot_deadline_ms`]. The
+    /// coordination rounds and any monolithic fallback share the window.
+    pub fn with_slot_deadline_ms(mut self, ms: impl Into<Option<f64>>) -> Self {
+        self.slot_deadline_ms = ms.into();
+        self
+    }
+
+    /// The per-slot wall-clock budget, if any.
+    pub fn slot_deadline_ms(&self) -> Option<f64> {
+        self.slot_deadline_ms
+    }
+
+    /// Target shard count (effective count is capped at the user count).
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Kernel/eps/options changed: drop solve state built on the old ones.
+    fn rebuild(&mut self) {
+        self.coordinator = None;
+        self.inner = build_inner(&self.cfg);
+    }
+
+    /// Decides the slot monolithically with whatever budget remains,
+    /// folding the inner algorithm's health record into `health`.
+    fn decide_monolithic(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        budget: &SolveBudget,
+        health: &mut SlotHealth,
+    ) -> Result<Allocation> {
+        let remaining_ms = budget.remaining().map(|d| d.as_secs_f64() * 1e3);
+        // The deadline setter consumes self; swap through a throwaway so the
+        // inner algorithm keeps its warm workspace across slots.
+        let inner = std::mem::replace(&mut self.inner, build_inner(&self.cfg));
+        self.inner = inner.with_slot_deadline_ms(remaining_ms);
+        let result = self.inner.decide(input, prev);
+        if let Some(ih) = self.inner.take_health() {
+            health.rung = ih.rung;
+            health.attempts += ih.attempts;
+            health.final_residual = ih.final_residual;
+            health.deadline_hit |= ih.deadline_hit;
+            health.rung_ms.extend(ih.rung_ms);
+            health.repaired |= ih.repaired;
+            health.newton_steps += ih.newton_steps;
+            health.outer_iterations = ih.outer_iterations;
+            health.schur_kernel = ih.schur_kernel;
+            health.newton_step_ms = ih.newton_step_ms;
+            health.errors.extend(ih.errors);
+        }
+        result
+    }
+}
+
+fn build_inner(cfg: &CoordinatorConfig) -> OnlineRegularized {
+    OnlineRegularized::new(cfg.eps)
+        .with_explicit_capacity()
+        .with_schur_kernel(cfg.kernel)
+        .with_solver_threads(cfg.solver_threads)
+        .with_solver_options(cfg.options.clone())
+}
+
+impl OnlineAlgorithm for OnlineSharded {
+    fn name(&self) -> &str {
+        "online-sharded"
+    }
+
+    fn decide(&mut self, input: &SlotInput<'_>, prev: &Allocation) -> Result<Allocation> {
+        let clock = Instant::now();
+        let mut health = SlotHealth::primary();
+        health.deadline_ms = self.slot_deadline_ms;
+        let budget = match self.slot_deadline_ms {
+            Some(ms) => SolveBudget::from_millis(ms),
+            None => SolveBudget::unlimited(),
+        };
+        let s_eff = self.cfg.shards.min(input.num_users());
+        let shardable = s_eff >= 2 && input.weights.operation > 0.0;
+        let mut decision: Option<Allocation> = None;
+        if shardable {
+            let stale = self
+                .coordinator
+                .as_ref()
+                .is_none_or(|c| !c.matches(input, self.cfg.shards));
+            if stale {
+                self.coordinator = Some(Coordinator::new(self.cfg.clone(), input));
+            }
+            let coord = self.coordinator.as_mut().expect("coordinator was built");
+            match coord.solve_slot(input, prev, &budget, &mut health) {
+                Ok(x) => decision = Some(x),
+                Err(e) => health.note_error(format!("shard coordination failed: {e}")),
+            }
+        }
+        let outcome = match decision {
+            Some(x) => Ok(x),
+            None => {
+                health.shards = 1;
+                self.decide_monolithic(input, prev, &budget, &mut health)
+            }
+        };
+        health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
+        self.last_health = Some(health);
+        outcome
+    }
+
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        self.last_health.take()
+    }
+
+    fn reset(&mut self) {
+        self.coordinator = None;
+        self.inner.reset();
+        self.last_health = None;
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end runs of `online-sharded` over small horizons: the sharded
+//! decisions must be exactly feasible every slot, the telemetry must record
+//! the decomposition, and degenerate shapes must fall back monolithically.
+
+use edgealloc::algorithms::{run_online, OnlineAlgorithm, OnlineRegularized};
+use edgealloc::cost::{evaluate_trajectory, CostWeights};
+use edgealloc::instance::Instance;
+use edgealloc::system::EdgeCloudSystem;
+use mobility::MobilityInput;
+use optim::convex::SchurKernel;
+use shard::OnlineSharded;
+
+/// A deterministic multi-user instance (`fig1_example` has a single user,
+/// which can never shard): `nu` users over 3 clouds and `nt` slots, with
+/// 1.5× capacity slack and mildly varying prices/attachments.
+fn multi_user_instance(nu: usize, nt: usize) -> Instance {
+    let nc = 3;
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut rnd = move || {
+        // xorshift64*: deterministic, dependency-free.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 40) as f64 / (1u64 << 24) as f64
+    };
+    let workloads: Vec<f64> = (0..nu).map(|_| 1.0 + (2.0 * rnd()).round()).collect();
+    let total: f64 = workloads.iter().sum();
+    let shares: Vec<f64> = (0..nc).map(|_| 0.5 + rnd()).collect();
+    let share_sum: f64 = shares.iter().sum();
+    let capacities: Vec<f64> = shares.iter().map(|s| 1.5 * total * s / share_sum).collect();
+    let mut delay = vec![vec![0.0; nc]; nc];
+    for i in 0..nc {
+        for j in (i + 1)..nc {
+            let d = 0.5 + 2.0 * rnd();
+            delay[i][j] = d;
+            delay[j][i] = d;
+        }
+    }
+    let system = EdgeCloudSystem::new(capacities, delay).expect("valid system");
+    let attachment: Vec<Vec<usize>> = (0..nu)
+        .map(|_| (0..nt).map(|_| (rnd() * nc as f64) as usize % nc).collect())
+        .collect();
+    let access: Vec<Vec<f64>> = (0..nu)
+        .map(|_| (0..nt).map(|_| 0.2 + rnd()).collect())
+        .collect();
+    let mobility = MobilityInput::new(nc, attachment, access);
+    let prices: Vec<Vec<f64>> = (0..nt)
+        .map(|_| (0..nc).map(|_| 0.5 + rnd()).collect())
+        .collect();
+    let reconfig: Vec<f64> = (0..nc).map(|_| 0.3 + rnd()).collect();
+    let b_out: Vec<f64> = (0..nc).map(|_| 0.2 + 0.5 * rnd()).collect();
+    let b_in: Vec<f64> = (0..nc).map(|_| 0.2 + 0.5 * rnd()).collect();
+    Instance::new(
+        system,
+        workloads,
+        mobility,
+        prices,
+        reconfig,
+        b_out,
+        b_in,
+        CostWeights::default(),
+    )
+    .expect("valid instance")
+}
+
+fn assert_feasible(inst: &Instance, traj: &edgealloc::algorithms::Trajectory) {
+    for (t, x) in traj.allocations.iter().enumerate() {
+        for j in 0..inst.num_users() {
+            assert!(
+                x.user_total(j) >= inst.workloads()[j] - 1e-6,
+                "slot {t}: user {j} under-served"
+            );
+        }
+        for i in 0..inst.num_clouds() {
+            assert!(
+                x.cloud_total(i) <= inst.system().capacity(i) + 1e-6,
+                "slot {t}: cloud {i} over capacity"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_is_feasible_and_reports_telemetry() {
+    let inst = multi_user_instance(8, 4);
+    let mut alg = OnlineSharded::new(2);
+    let traj = run_online(&inst, &mut alg).expect("horizon runs");
+    assert_eq!(traj.allocations.len(), inst.num_slots());
+    assert_feasible(&inst, &traj);
+    // Sharded slots must be *exactly* feasible (projection, not repair).
+    for (t, (x, h)) in traj.allocations.iter().zip(&traj.health).enumerate() {
+        if h.shards >= 2 {
+            for j in 0..inst.num_users() {
+                assert!(
+                    x.user_total(j) >= inst.workloads()[j],
+                    "slot {t}: sharded decision not exactly demand-feasible"
+                );
+            }
+            for i in 0..inst.num_clouds() {
+                assert!(
+                    x.cloud_total(i) <= inst.system().capacity(i),
+                    "slot {t}: sharded decision not exactly capacity-feasible"
+                );
+            }
+        }
+    }
+    let summary = traj.health_summary();
+    assert!(
+        summary.sharded_slots > 0,
+        "no slot used the decomposition: {summary:?}"
+    );
+    assert!(summary.coord_rounds >= summary.sharded_slots);
+}
+
+#[test]
+fn sharded_cost_matches_monolithic_closely() {
+    let inst = multi_user_instance(10, 4);
+    let mut mono = OnlineRegularized::with_defaults()
+        .with_explicit_capacity()
+        .with_schur_kernel(SchurKernel::Blocked);
+    let mono_traj = run_online(&inst, &mut mono).expect("monolithic runs");
+    let mono_cost = evaluate_trajectory(&inst, &mono_traj.allocations).total();
+
+    let mut alg = OnlineSharded::new(2).with_schur_kernel(SchurKernel::Blocked);
+    let traj = run_online(&inst, &mut alg).expect("sharded runs");
+    let cost = evaluate_trajectory(&inst, &traj.allocations).total();
+
+    let rel = (cost - mono_cost).abs() / mono_cost.abs().max(1.0);
+    assert!(
+        rel <= 1e-4,
+        "sharded cost {cost} vs monolithic {mono_cost} (rel {rel:.2e})"
+    );
+}
+
+#[test]
+fn single_shard_falls_back_to_the_monolithic_path() {
+    let inst = multi_user_instance(6, 3);
+    let mut alg = OnlineSharded::new(1);
+    let traj = run_online(&inst, &mut alg).expect("horizon runs");
+    assert_feasible(&inst, &traj);
+    for h in &traj.health {
+        assert_eq!(h.shards, 1, "S = 1 must take the monolithic path");
+        assert_eq!(h.coord_rounds, 0);
+    }
+    assert_eq!(traj.health_summary().sharded_slots, 0);
+}
+
+#[test]
+fn reset_clears_cross_horizon_state() {
+    let inst = multi_user_instance(8, 3);
+    let mut alg = OnlineSharded::new(2);
+    let a = run_online(&inst, &mut alg).expect("first horizon");
+    let b = run_online(&inst, &mut alg).expect("second horizon");
+    for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+        for i in 0..inst.num_clouds() {
+            for j in 0..inst.num_users() {
+                assert!(
+                    (xa.get(i, j) - xb.get(i, j)).abs() < 1e-9,
+                    "slot {t}: rerun diverged at ({i}, {j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn name_and_builders_round_trip() {
+    let alg = OnlineSharded::new(4)
+        .with_epsilon(0.25)
+        .with_max_rounds(10)
+        .with_tolerances(1e-4, 1e-6)
+        .with_slot_deadline_ms(250.0);
+    assert_eq!(alg.name(), "online-sharded");
+    assert_eq!(alg.shards(), 4);
+    assert_eq!(alg.slot_deadline_ms(), Some(250.0));
+}

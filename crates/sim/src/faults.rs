@@ -147,12 +147,12 @@ mod tests {
         FaultKind::PriceNan { slot: 99, cloud: 0 }.apply(&mut inst);
         FaultKind::ZeroCapacity { cloud: 99 }.apply(&mut inst);
         for t in 0..inst.num_slots() {
-            assert_eq!(inst.operation_prices_at(t), reference.operation_prices_at(t));
+            assert_eq!(
+                inst.operation_prices_at(t),
+                reference.operation_prices_at(t)
+            );
         }
-        assert_eq!(
-            inst.system().capacities(),
-            reference.system().capacities()
-        );
+        assert_eq!(inst.system().capacities(), reference.system().capacities());
     }
 
     #[test]

@@ -59,11 +59,7 @@ pub fn series_table(x_label: &str, series: &[Series]) -> String {
                 (s.points[p].x - x).abs() < 1e-9,
                 "inconsistent x grids across series"
             );
-            let _ = write!(
-                out,
-                "  {:>14.4} ±{:>6.4}",
-                s.points[p].mean, s.points[p].sd
-            );
+            let _ = write!(out, "  {:>14.4} ±{:>6.4}", s.points[p].mean, s.points[p].sd);
         }
         let _ = writeln!(out);
     }

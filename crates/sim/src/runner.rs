@@ -44,7 +44,11 @@ impl AlgorithmOutcome {
     /// whose offline solve failed has a NaN ratio, which must not poison
     /// the scenario aggregate.
     fn defined_ratios(&self) -> Vec<f64> {
-        self.ratios.iter().copied().filter(|r| r.is_finite()).collect()
+        self.ratios
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .collect()
     }
 
     /// Mean empirical competitive ratio over repetitions with a defined

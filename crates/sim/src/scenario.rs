@@ -1,15 +1,16 @@
 //! Declarative experiment descriptions.
 
+use crate::faults::FaultPlan;
 use edgealloc::algorithms::{
     OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt, PerfOpt, StatOpt, StaticPolicy,
     StaticVariant,
 };
-use crate::faults::FaultPlan;
 use edgealloc::cost::CostWeights;
 use mobility::prices::PriceConfig;
 use mobility::taxi::TaxiConfig;
 use mobility::workload::WorkloadDist;
 use serde::{Deserialize, Serialize};
+use shard::OnlineSharded;
 
 /// Which mobility substrate drives the users.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,6 +65,15 @@ pub enum AlgorithmKind {
     StaticFirstSlot,
     /// Frozen first-slot locality-first allocation.
     StaticLocal,
+    /// The sharded regularized algorithm: each slot decomposed across
+    /// `shards` user shards coordinated by capacity prices (explicit
+    /// capacity rows, like [`AlgorithmKind::ApproxExplicit`]).
+    Sharded {
+        /// Regularization parameter.
+        eps: f64,
+        /// Target user-shard count.
+        shards: usize,
+    },
 }
 
 impl AlgorithmKind {
@@ -100,6 +110,11 @@ impl AlgorithmKind {
                 Box::new(StaticPolicy::new(StaticVariant::FirstSlotOpt))
             }
             AlgorithmKind::StaticLocal => Box::new(StaticPolicy::new(StaticVariant::Local)),
+            AlgorithmKind::Sharded { eps, shards } => Box::new(
+                OnlineSharded::new(shards)
+                    .with_epsilon(eps)
+                    .with_slot_deadline_ms(slot_deadline_ms),
+            ),
         }
     }
 
@@ -115,6 +130,7 @@ impl AlgorithmKind {
             AlgorithmKind::StaticProportional => "static-proportional".into(),
             AlgorithmKind::StaticFirstSlot => "static-first-slot".into(),
             AlgorithmKind::StaticLocal => "static-local".into(),
+            AlgorithmKind::Sharded { .. } => "online-sharded".into(),
         }
     }
 }
@@ -210,6 +226,10 @@ mod tests {
             AlgorithmKind::StaticProportional,
             AlgorithmKind::StaticFirstSlot,
             AlgorithmKind::StaticLocal,
+            AlgorithmKind::Sharded {
+                eps: 0.5,
+                shards: 4,
+            },
         ] {
             let alg = kind.build();
             assert_eq!(alg.name(), kind.label());
@@ -233,7 +253,10 @@ mod tests {
     fn legacy_scenario_json_without_deadline_parses() {
         let json = serde_json::to_string(&Scenario::default()).unwrap();
         let legacy = json.replace(",\"slot_deadline_ms\":null", "");
-        assert_ne!(legacy, json, "expected the field to be present and removable");
+        assert_ne!(
+            legacy, json,
+            "expected the field to be present and removable"
+        );
         let back: Scenario = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.slot_deadline_ms, None);
     }

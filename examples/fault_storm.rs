@@ -81,6 +81,9 @@ fn main() -> Result<(), edgealloc::Error> {
         );
     }
     let cost = evaluate_trajectory(&inst, &traj.allocations);
-    println!("  total cost {:.2} (finite, horizon complete)", cost.total());
+    println!(
+        "  total cost {:.2} (finite, horizon complete)",
+        cost.total()
+    );
     Ok(())
 }

@@ -32,7 +32,10 @@ fn main() -> Result<(), edgealloc::Error> {
     let mut approx = OnlineRegularized::with_defaults();
     let traj = run_online(&instance, &mut approx)?;
     let venue_cap = instance.system().capacity(venue);
-    println!("venue: {} (capacity {venue_cap:.1})", net.station(venue).name);
+    println!(
+        "venue: {} (capacity {venue_cap:.1})",
+        net.station(venue).name
+    );
     println!("slot | attached@venue | x@venue | spillover");
     for t in 0..num_slots {
         let attached = (0..num_users)

@@ -38,9 +38,9 @@ fn main() -> Result<(), edgealloc::Error> {
         vec![1.0; num_users],
         mobility,
         prices,
-        vec![0.5; num_clouds],           // c_i
-        vec![0.25; num_clouds],          // b_out
-        vec![0.25; num_clouds],          // b_in
+        vec![0.5; num_clouds],  // c_i
+        vec![0.25; num_clouds], // b_out
+        vec![0.25; num_clouds], // b_in
         CostWeights::default(),
     )?;
 

@@ -37,7 +37,10 @@ fn greedy_ratio_grows_with_k() {
     let (g1, _) = ratios(1.0, 12);
     let (g4, _) = ratios(4.0, 12);
     let (g16, _) = ratios(16.0, 12);
-    assert!(g1 < g4 && g4 < g16, "greedy ratios {g1} {g4} {g16} must grow");
+    assert!(
+        g1 < g4 && g4 < g16,
+        "greedy ratios {g1} {g4} {g16} must grow"
+    );
     assert!(g16 > 1.5, "greedy should approach 2, got {g16}");
     assert!(g16 < 2.0 + 1e-9, "ping-pong bounds greedy by 2");
 }
@@ -83,5 +86,8 @@ fn offline_parks_the_workload() {
                 .sum::<f64>()
         })
         .sum();
-    assert!(greedy_moved > 17.0, "greedy moves every slot: {greedy_moved}");
+    assert!(
+        greedy_moved > 17.0,
+        "greedy moves every slot: {greedy_moved}"
+    );
 }

@@ -36,10 +36,7 @@ fn taxi_scenario_orders_algorithms_as_the_paper_does() {
         approx <= greedy * 1.08,
         "approx {approx} should be within 8% of greedy {greedy}"
     );
-    assert!(
-        approx < stat,
-        "approx {approx} should beat stat-opt {stat}"
-    );
+    assert!(approx < stat, "approx {approx} should beat stat-opt {stat}");
     assert!(approx < 1.5, "approx ratio {approx} should be near-optimal");
 }
 

@@ -129,7 +129,10 @@ fn survives_demand_surge_beyond_capacity() {
     // Utilization is 80%, so a 10× surge is far beyond total capacity: the
     // offline normalizer is infeasible (NaN, noted as a non-fatal failure)
     // but every online algorithm still yields a full, finite trajectory.
-    let s = scenario("demand-surge", vec![FaultKind::DemandSurge { factor: 10.0 }]);
+    let s = scenario(
+        "demand-surge",
+        vec![FaultKind::DemandSurge { factor: 10.0 }],
+    );
     let outcome = run_scenario(&s).unwrap();
     assert!(outcome.failures.iter().all(|f| !f.fatal));
     assert!(
@@ -176,7 +179,10 @@ fn survives_compound_faults() {
 
 #[test]
 fn faulted_outcome_serializes_with_health() {
-    let s = scenario("serialized", vec![FaultKind::PriceNan { slot: 2, cloud: 1 }]);
+    let s = scenario(
+        "serialized",
+        vec![FaultKind::PriceNan { slot: 2, cloud: 1 }],
+    );
     let outcome = run_scenario(&s).unwrap();
     let json = sim::report::outcome_json(&outcome);
     assert!(json.contains("\"health\""));

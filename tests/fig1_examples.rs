@@ -79,7 +79,11 @@ fn all_policies_feasible_on_toy_cases() {
         for mut alg in algs {
             let traj = run_online(&inst, alg.as_mut()).unwrap();
             for x in &traj.allocations {
-                assert!(x.demand_shortfall(inst.workloads()) < 1e-5, "{}", alg.name());
+                assert!(
+                    x.demand_shortfall(inst.workloads()) < 1e-5,
+                    "{}",
+                    alg.name()
+                );
                 assert!(
                     x.capacity_excess(inst.system().capacities()) < 1e-5,
                     "{}",

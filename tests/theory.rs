@@ -112,10 +112,7 @@ fn weak_duality_chain_d_le_p1() {
     let allocations: Vec<Allocation> = sols.iter().map(|s| s.allocation.clone()).collect();
     let p1 = p1_objective(&inst, &allocations);
     let d = fit.objective(&inst);
-    assert!(
-        d <= p1 + 1e-6,
-        "dual objective {d} exceeds primal P1 {p1}"
-    );
+    assert!(d <= p1 + 1e-6, "dual objective {d} exceeds primal P1 {p1}");
 }
 
 #[test]
@@ -195,7 +192,6 @@ fn gamma_formula_matches_definition() {
         .fold(0.0f64, f64::max);
     assert!((alg.gamma(inst.system()) - expected).abs() < 1e-9);
 }
-
 
 #[test]
 fn repair_restores_feasibility_on_tight_instances() {

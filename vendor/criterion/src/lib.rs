@@ -123,7 +123,11 @@ impl Bencher {
         }
         let n = self.samples_ns.len() as f64;
         let mean = self.samples_ns.iter().sum::<f64>() / n;
-        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self
             .samples_ns
             .iter()

@@ -50,7 +50,8 @@ fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
         Ok(item) => gen(&item),
         Err(msg) => format!("::core::compile_error!({msg:?});"),
     };
-    code.parse().expect("derive stand-in generated invalid Rust")
+    code.parse()
+        .expect("derive stand-in generated invalid Rust")
 }
 
 type PeekIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;

@@ -369,7 +369,10 @@ mod tests {
         assert_eq!(to_string(&raw).unwrap(), r#"{"label":"a","xs":[1,2.5]}"#);
         let pretty = to_string_pretty(&raw).unwrap();
         assert!(pretty.contains("\"label\": \"a\""), "{pretty}");
-        assert!(pretty.contains("\n  \"xs\": [\n    1,\n    2.5\n  ]"), "{pretty}");
+        assert!(
+            pretty.contains("\n  \"xs\": [\n    1,\n    2.5\n  ]"),
+            "{pretty}"
+        );
     }
 
     #[test]
