@@ -6,7 +6,7 @@
 //! ```text
 //! fig_scale [--users 1000,10000,100000] [--shards 1,4,16] [--slots N]
 //!           [--seed N] [--threads N] [--resume PATH] [--json PATH]
-//!           [--slot-deadline-ms MS]
+//!           [--slot-deadline-ms MS] [--shard-faults SPEC]
 //! ```
 //!
 //! Each sweep point runs `OnlineSharded` (blocked Schur kernel) over one
@@ -16,6 +16,12 @@
 //! minutes per slot on one core); `--slots` overrides for all points.
 //! `--resume` makes the sweep crash-safe (see [`bench::checkpointed_map`]);
 //! the JSON report defaults to `results/BENCH_PR5.json`.
+//!
+//! `--shard-faults` injects deterministic shard-worker faults (panics,
+//! stragglers, offer corruption) into every sweep point's coordinator —
+//! spec format `panic=0.1,delay=0.2:120,corrupt=0.05,seed=7`, see
+//! [`sim::ShardFaultPlan::from_spec`]. The spec and its seed are recorded
+//! in the JSON report so chaos measurements stay reproducible.
 
 use bench::{checkpointed_map, deadline_tag, maybe_write, Flags};
 use edgealloc::prelude::*;
@@ -48,6 +54,20 @@ struct ScalePoint {
     max_capacity_violation: Option<f64>,
     /// Worst certified relative duality gap across sharded slots.
     duality_gap: Option<f64>,
+    /// Seed of the injected shard-fault rolls (0 when no faults were
+    /// injected; absent in pre-chaos checkpoints).
+    #[serde(default)]
+    fault_seed: u64,
+    /// Fault-tolerance telemetry (all zero on fault-free runs; absent in
+    /// pre-chaos checkpoints).
+    #[serde(default)]
+    shard_retries: usize,
+    #[serde(default)]
+    stale_offers: usize,
+    #[serde(default)]
+    quarantined_offers: usize,
+    #[serde(default)]
+    breaker_trips: usize,
 }
 
 fn run_point(
@@ -56,6 +76,7 @@ fn run_point(
     slots: usize,
     seed: u64,
     deadline: Option<f64>,
+    faults: &sim::ShardFaultPlan,
 ) -> ScalePoint {
     let net = mobility::rome_metro();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -69,6 +90,7 @@ fn run_point(
 
     let mut alg = OnlineSharded::new(shards)
         .with_schur_kernel(SchurKernel::Blocked)
+        .with_chaos(faults.to_chaos())
         .with_slot_deadline_ms(deadline);
     let t0 = Instant::now();
     let traj = run_online(&inst, &mut alg).expect("horizon");
@@ -99,6 +121,11 @@ fn run_point(
         max_capacity_violation: (summary.sharded_slots > 0)
             .then_some(summary.peak_capacity_violation),
         duality_gap,
+        fault_seed: faults.seed,
+        shard_retries: summary.shard_retries,
+        stale_offers: summary.stale_offers,
+        quarantined_offers: summary.quarantined_offers,
+        breaker_trips: summary.breaker_trips,
     }
 }
 
@@ -110,6 +137,14 @@ fn main() {
     let seed = flags.u64("seed", 1);
     let threads = flags.usize("threads", bench::default_threads());
     let deadline = flags.opt_f64("slot-deadline-ms");
+    let fault_spec = flags.str("shard-faults").map(str::to_string);
+    let faults = fault_spec
+        .as_deref()
+        .map(|spec| {
+            sim::ShardFaultPlan::from_spec(spec)
+                .unwrap_or_else(|e| panic!("bad --shard-faults: {e}"))
+        })
+        .unwrap_or_default();
 
     let points: Vec<(usize, usize, usize)> = users
         .iter()
@@ -124,9 +159,13 @@ fn main() {
             shards.iter().map(move |&s| (j, s, slots))
         })
         .collect();
+    // The fault spec is part of the checkpoint identity: resuming a chaos
+    // sweep from fault-free points (or vice versa) would silently mix
+    // distributions.
     let label = format!(
-        "fig-scale-u{users:?}-s{shards:?}-t{slots_override}-seed{seed}-d{}",
-        deadline_tag(deadline)
+        "fig-scale-u{users:?}-s{shards:?}-t{slots_override}-seed{seed}-d{}-f{}",
+        deadline_tag(deadline),
+        fault_spec.as_deref().unwrap_or("none")
     );
 
     let results = checkpointed_map(
@@ -136,7 +175,7 @@ fn main() {
         flags.str("resume"),
         |&(j, s, t)| {
             eprintln!("running J={j} S={s} T={t} ...");
-            let p = run_point(j, s, t, seed, deadline);
+            let p = run_point(j, s, t, seed, deadline, &faults);
             eprintln!(
                 "  J={j} S={s}: {:.1} ms total, slot p50 {:.1} ms, {} rounds, \
              {} Newton steps, gap {:?}",
@@ -167,6 +206,9 @@ fn main() {
     struct Report {
         what: String,
         machine: String,
+        /// The `--shard-faults` spec this sweep ran under (`None` =
+        /// fault-free); the per-point `fault_seed` pins the rolls.
+        shard_fault_spec: Option<String>,
         points: Vec<ScalePoint>,
     }
     let report = Report {
@@ -179,6 +221,7 @@ fn main() {
             "{}-core container, release build, solver threads=1",
             bench::default_threads()
         ),
+        shard_fault_spec: fault_spec,
         points: results,
     };
     let json_path = flags.str("json").unwrap_or("results/BENCH_PR5.json");

@@ -17,11 +17,20 @@
 //! --slot-deadline-ms MS  override the scenario's per-slot budget
 //! --shards N             add the sharded solver (online-sharded, N user
 //!                        shards) to the scenario's algorithm roster
+//! --shard-faults SPEC    inject shard-worker faults into the sharded
+//!                        solver, e.g. panic=0.1,delay=0.2:120,corrupt=0.05,seed=7
+//!                        (see sim::ShardFaultPlan::from_spec)
 //! ```
+//!
+//! With an active shard-fault plan the `--json` payload is wrapped as
+//! `{"shard_fault_spec", "shard_faults", "outcome"}` so the injected mix
+//! and its seed travel with the numbers; otherwise the payload is the
+//! bare outcome, as before.
 
 use bench::Flags;
 use sim::report::{outcome_json, ratio_table};
 use sim::scenario::{AlgorithmKind, Scenario};
+use sim::ShardFaultPlan;
 
 fn main() {
     let flags = Flags::from_env();
@@ -51,6 +60,11 @@ fn main() {
             .algorithms
             .push(AlgorithmKind::Sharded { eps: 0.5, shards });
     }
+    let fault_spec = flags.str("shard-faults").map(str::to_string);
+    if let Some(spec) = fault_spec.as_deref() {
+        scenario.shard_faults =
+            ShardFaultPlan::from_spec(spec).unwrap_or_else(|e| panic!("bad --shard-faults: {e}"));
+    }
 
     eprintln!(
         "running scenario {:?}: {} users, {} slots, {} repetitions",
@@ -59,7 +73,32 @@ fn main() {
         scenario.num_slots,
         scenario.repetitions
     );
+    if !scenario.shard_faults.is_empty() {
+        eprintln!(
+            "injecting shard faults (seed {}): {:?}",
+            scenario.shard_faults.seed, scenario.shard_faults.faults
+        );
+    }
     let outcome = sim::run_scenario(&scenario).expect("scenario failed");
     println!("{}", ratio_table(&outcome));
-    bench::maybe_write(flags.str("json"), &outcome_json(&outcome));
+    let payload = if scenario.shard_faults.is_empty() {
+        outcome_json(&outcome)
+    } else {
+        // Wrap so the fault mix and its seed are recorded next to the
+        // numbers they produced — a chaos result without its seed is not
+        // reproducible.
+        #[derive(serde::Serialize)]
+        struct ChaosReport {
+            shard_fault_spec: Option<String>,
+            shard_faults: ShardFaultPlan,
+            outcome: sim::ScenarioOutcome,
+        }
+        serde_json::to_string_pretty(&ChaosReport {
+            shard_fault_spec: fault_spec.clone(),
+            shard_faults: scenario.shard_faults.clone(),
+            outcome: outcome.clone(),
+        })
+        .expect("serialize outcome")
+    };
+    bench::maybe_write(flags.str("json"), &payload);
 }

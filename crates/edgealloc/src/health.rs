@@ -120,6 +120,29 @@ pub struct SlotHealth {
     /// round, run when coordination stalled above its gap tolerance.
     #[serde(default)]
     pub polished: bool,
+    /// Carried-forward (stale) shard offers merged in place of a fresh
+    /// offer because the shard failed or straggled past its round budget
+    /// (0 for non-sharded slots and legacy records).
+    #[serde(default)]
+    pub stale_offers: usize,
+    /// Per-shard solve retries taken after a panic, solver error, or
+    /// quarantined offer (0 = every shard solved on its first attempt).
+    #[serde(default)]
+    pub shard_retries: usize,
+    /// Fresh shard offers rejected by the NaN/Inf/negativity quarantine
+    /// screen before they could reach the merge or the carry-forward
+    /// archive.
+    #[serde(default)]
+    pub quarantined_offers: usize,
+    /// Shard circuit-breaker trips: after R consecutive failures a sick
+    /// shard's users were merged into a neighbor shard, or (at ≤ 2 shards)
+    /// the slot was demoted to the monolithic fallback.
+    #[serde(default)]
+    pub breaker_trips: usize,
+    /// Coordination rounds that completed without a fresh offer from every
+    /// shard (stale carry-forward, or too few offers to merge at all).
+    #[serde(default)]
+    pub degraded_rounds: usize,
     /// Errors swallowed along the way (the failures that pushed the
     /// decision down the ladder), newest last.
     pub errors: Vec<String>,
@@ -147,6 +170,11 @@ impl SlotHealth {
             max_capacity_violation: None,
             duality_gap: None,
             polished: false,
+            stale_offers: 0,
+            shard_retries: 0,
+            quarantined_offers: 0,
+            breaker_trips: 0,
+            degraded_rounds: 0,
             errors: Vec::new(),
         }
     }
@@ -185,6 +213,11 @@ impl SlotHealth {
             max_capacity_violation: None,
             duality_gap: None,
             polished: false,
+            stale_offers: 0,
+            shard_retries: 0,
+            quarantined_offers: 0,
+            breaker_trips: 0,
+            degraded_rounds: 0,
             errors: report.error.iter().cloned().collect(),
         }
     }
@@ -293,6 +326,22 @@ pub struct HealthSummary {
     /// monolithic solve after coordination stalled above tolerance).
     #[serde(default)]
     pub polished_slots: usize,
+    /// Total carried-forward (stale) shard offers merged across all slots.
+    #[serde(default)]
+    pub stale_offers: usize,
+    /// Total per-shard solve retries across all slots.
+    #[serde(default)]
+    pub shard_retries: usize,
+    /// Total shard offers rejected by the quarantine screen.
+    #[serde(default)]
+    pub quarantined_offers: usize,
+    /// Total shard circuit-breaker trips.
+    #[serde(default)]
+    pub breaker_trips: usize,
+    /// Total coordination rounds that completed without a full set of
+    /// fresh shard offers.
+    #[serde(default)]
+    pub degraded_rounds: usize,
 }
 
 impl HealthSummary {
@@ -325,6 +374,11 @@ impl HealthSummary {
             if h.polished {
                 summary.polished_slots += 1;
             }
+            summary.stale_offers += h.stale_offers;
+            summary.shard_retries += h.shard_retries;
+            summary.quarantined_offers += h.quarantined_offers;
+            summary.breaker_trips += h.breaker_trips;
+            summary.degraded_rounds += h.degraded_rounds;
             if let Some(v) = h.max_capacity_violation {
                 if v.is_finite() {
                     summary.peak_capacity_violation = summary.peak_capacity_violation.max(v);
@@ -350,6 +404,11 @@ impl HealthSummary {
             .peak_capacity_violation
             .max(other.peak_capacity_violation);
         self.polished_slots += other.polished_slots;
+        self.stale_offers += other.stale_offers;
+        self.shard_retries += other.shard_retries;
+        self.quarantined_offers += other.quarantined_offers;
+        self.breaker_trips += other.breaker_trips;
+        self.degraded_rounds += other.degraded_rounds;
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -449,6 +508,81 @@ mod tests {
         assert_eq!(h.coord_rounds, 0);
         assert_eq!(h.max_capacity_violation, None);
         assert_eq!(h.duality_gap, None);
+        assert_eq!(h.stale_offers, 0);
+        assert_eq!(h.shard_retries, 0);
+        assert_eq!(h.quarantined_offers, 0);
+        assert_eq!(h.breaker_trips, 0);
+        assert_eq!(h.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn pre_fault_tolerance_health_record_round_trips() {
+        // A record exactly as the previous sweep checkpoints wrote it:
+        // shard coordination fields present, fault-tolerance fields absent.
+        // Resuming one of those JSONL checkpoints must keep working, and
+        // re-serializing must fill the new fields with zeros.
+        let legacy = r#"{"rung":"Primary","attempts":1,"final_residual":2e-6,
+            "wall_time_ms":12.5,"deadline_ms":50.0,"deadline_hit":false,
+            "rung_ms":[12.5],"repaired":false,"sanitized":false,
+            "newton_steps":40,"outer_iterations":9,"schur_kernel":"blocked",
+            "newton_step_ms":0.3,"shards":4,"coord_rounds":3,
+            "max_capacity_violation":0.01,"duality_gap":1.5e-5,
+            "polished":false,"errors":[]}"#;
+        let h: SlotHealth = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.shards, 4);
+        assert_eq!(h.stale_offers, 0);
+        assert_eq!(h.shard_retries, 0);
+        assert_eq!(h.quarantined_offers, 0);
+        assert_eq!(h.breaker_trips, 0);
+        assert_eq!(h.degraded_rounds, 0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: SlotHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.coord_rounds, 3);
+        assert_eq!(back.breaker_trips, 0);
+
+        let legacy_summary = r#"{"slots":4,"degraded_slots":0,"sanitized_slots":0,
+            "rungs":{"primary":4,"relaxed_tolerance":0,"per_slot_lp":0,"carry_forward":0},
+            "sharded_slots":4,"coord_rounds":12}"#;
+        let s: HealthSummary = serde_json::from_str(legacy_summary).unwrap();
+        assert_eq!(s.sharded_slots, 4);
+        assert_eq!(s.stale_offers, 0);
+        assert_eq!(s.shard_retries, 0);
+        assert_eq!(s.quarantined_offers, 0);
+        assert_eq!(s.breaker_trips, 0);
+        assert_eq!(s.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn summary_aggregates_fault_tolerance_telemetry() {
+        let mut a = SlotHealth::primary();
+        a.stale_offers = 2;
+        a.shard_retries = 3;
+        a.quarantined_offers = 1;
+        a.degraded_rounds = 2;
+        let mut b = SlotHealth::primary();
+        b.breaker_trips = 1;
+        b.shard_retries = 1;
+        let mut s = HealthSummary::from_slots(&[a, b]);
+        assert_eq!(s.stale_offers, 2);
+        assert_eq!(s.shard_retries, 4);
+        assert_eq!(s.quarantined_offers, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.degraded_rounds, 2);
+        let other = HealthSummary {
+            stale_offers: 1,
+            shard_retries: 2,
+            quarantined_offers: 3,
+            breaker_trips: 4,
+            degraded_rounds: 5,
+            ..HealthSummary::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.stale_offers, 3);
+        assert_eq!(s.shard_retries, 6);
+        assert_eq!(s.quarantined_offers, 4);
+        assert_eq!(s.breaker_trips, 5);
+        assert_eq!(s.degraded_rounds, 7);
     }
 
     #[test]

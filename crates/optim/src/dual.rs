@@ -196,6 +196,109 @@ impl DualAscent {
     }
 }
 
+/// One archived shard offer: the subproblem iterate together with the
+/// certificate data needed to re-price it later (see [`OfferArchive`]).
+///
+/// `prices` are the *total* per-resource prices the offer was solved
+/// against (whatever the caller folds into its subproblem — for the
+/// sharded slot solver, `μ_i` plus the entropy tangent `g_i`). A
+/// carried-forward offer solved at old prices still lower-bounds the
+/// current-price Lagrangian after subtracting `Σ_i (old_i − new_i)⁺ · c_i`
+/// — re-pricing can only *weaken* the certificate, never tighten it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchivedOffer {
+    /// The shard's primal iterate (caller-defined layout).
+    pub x: Vec<f64>,
+    /// The offer's subproblem objective at its solve prices.
+    pub objective: f64,
+    /// The offer's certified duality gap (`f64::INFINITY` = no
+    /// certificate, e.g. a salvaged iterate; never negative or NaN).
+    pub gap: f64,
+    /// Total per-resource prices the offer was solved against.
+    pub prices: Vec<f64>,
+    /// Coordination round the offer was produced in.
+    pub round: usize,
+    /// Caller-defined epoch (the sharded slot solver stores the slot
+    /// index): offers from an earlier epoch price a *different* program,
+    /// so their certificate must be discarded on carry-forward even though
+    /// the iterate itself remains a usable warm decision.
+    pub epoch: usize,
+}
+
+/// Per-shard archive of the most recent *feasible* offer, the substrate of
+/// straggler carry-forward: when a shard produces no fresh offer in a
+/// round, the coordinator merges the shard's last archived offer instead
+/// and re-prices its certificate. [`OfferArchive::record`] screens every
+/// candidate — an offer carrying NaN/Inf entries, negative allocations, a
+/// non-finite objective, a NaN or negative gap, or non-finite prices never
+/// enters, so [`OfferArchive::latest`] can never hand back a corrupt round.
+#[derive(Debug, Clone, Default)]
+pub struct OfferArchive {
+    latest: Vec<Option<ArchivedOffer>>,
+}
+
+impl OfferArchive {
+    /// An empty archive over `shards` shard slots.
+    pub fn new(shards: usize) -> Self {
+        OfferArchive {
+            latest: vec![None; shards],
+        }
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether the archive tracks zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// Records `offer` as shard `shard`'s most recent feasible offer.
+    /// Returns `false` (leaving any earlier archived offer in place) when
+    /// the offer fails the feasibility screen: non-finite or negative
+    /// entries in `x`, a non-finite objective, a NaN or negative gap
+    /// (`+∞` is allowed — "no certificate" is honest), or non-finite
+    /// prices. Out-of-range shard indices are also rejected.
+    pub fn record(&mut self, shard: usize, offer: ArchivedOffer) -> bool {
+        let Some(slot) = self.latest.get_mut(shard) else {
+            return false;
+        };
+        let clean = offer.x.iter().all(|v| v.is_finite() && *v >= 0.0)
+            && offer.objective.is_finite()
+            && !offer.gap.is_nan()
+            && offer.gap >= 0.0
+            && offer.prices.iter().all(|p| p.is_finite());
+        if !clean {
+            return false;
+        }
+        *slot = Some(offer);
+        true
+    }
+
+    /// Shard `shard`'s most recent feasible offer, if any survived the
+    /// screen.
+    pub fn latest(&self, shard: usize) -> Option<&ArchivedOffer> {
+        self.latest.get(shard).and_then(|o| o.as_ref())
+    }
+
+    /// Forgets every archived offer (keeps the shard count). The sharded
+    /// coordinator clears the archive on re-plan: offers are indexed by
+    /// shard, and a re-plan reassigns users across shards.
+    pub fn clear(&mut self) {
+        for slot in &mut self.latest {
+            *slot = None;
+        }
+    }
+
+    /// Resizes to `shards` shard slots, dropping every archived offer.
+    pub fn reset(&mut self, shards: usize) {
+        self.latest.clear();
+        self.latest.resize(shards, None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +397,72 @@ mod tests {
         d.ascend(&[1.0, f64::NAN]);
         d.ascend(&[f64::NAN, 1.0]);
         assert!(d.prices().iter().all(|p| p.is_finite()));
+    }
+
+    fn offer(x: Vec<f64>, objective: f64, gap: f64, prices: Vec<f64>) -> ArchivedOffer {
+        ArchivedOffer {
+            x,
+            objective,
+            gap,
+            prices,
+            round: 0,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn archive_keeps_the_most_recent_feasible_offer_per_shard() {
+        let mut a = OfferArchive::new(2);
+        assert_eq!(a.len(), 2);
+        assert!(a.latest(0).is_none());
+        assert!(a.record(0, offer(vec![1.0, 2.0], 3.0, 0.1, vec![0.5])));
+        assert!(a.record(0, offer(vec![4.0, 5.0], 2.0, 0.2, vec![0.6])));
+        assert_eq!(a.latest(0).unwrap().x, vec![4.0, 5.0]);
+        assert!(a.latest(1).is_none(), "shards are archived independently");
+        a.clear();
+        assert!(a.latest(0).is_none());
+        assert_eq!(a.len(), 2, "clear keeps the shard count");
+    }
+
+    #[test]
+    fn archive_never_returns_an_infeasible_or_nan_bearing_round() {
+        let mut a = OfferArchive::new(1);
+        let good = offer(vec![1.0, 2.0], 3.0, 0.0, vec![0.5]);
+        assert!(a.record(0, good.clone()));
+        // Every corrupt variant is rejected AND leaves the archived good
+        // offer untouched.
+        let corrupt = [
+            offer(vec![f64::NAN, 2.0], 3.0, 0.0, vec![0.5]),
+            offer(vec![f64::INFINITY, 2.0], 3.0, 0.0, vec![0.5]),
+            offer(vec![-1.0, 2.0], 3.0, 0.0, vec![0.5]),
+            offer(vec![1.0, 2.0], f64::NAN, 0.0, vec![0.5]),
+            offer(vec![1.0, 2.0], f64::INFINITY, 0.0, vec![0.5]),
+            offer(vec![1.0, 2.0], 3.0, f64::NAN, vec![0.5]),
+            offer(vec![1.0, 2.0], 3.0, -0.1, vec![0.5]),
+            offer(vec![1.0, 2.0], 3.0, 0.0, vec![f64::NAN]),
+        ];
+        for (k, bad) in corrupt.into_iter().enumerate() {
+            assert!(!a.record(0, bad), "corrupt offer {k} entered the archive");
+            assert_eq!(a.latest(0), Some(&good), "corrupt offer {k} clobbered");
+        }
+        // An uncertified offer (gap = +∞) is honest, not corrupt.
+        assert!(a.record(0, offer(vec![0.0], 1.0, f64::INFINITY, vec![])));
+        assert!(a.latest(0).unwrap().gap.is_infinite());
+        // Out-of-range shard indices never panic.
+        assert!(!a.record(7, offer(vec![0.0], 1.0, 0.0, vec![])));
+        assert!(a.latest(7).is_none());
+    }
+
+    #[test]
+    fn archive_reset_resizes_and_forgets() {
+        let mut a = OfferArchive::new(1);
+        assert!(a.record(0, offer(vec![1.0], 1.0, 0.0, vec![])));
+        a.reset(3);
+        assert_eq!(a.len(), 3);
+        assert!((0..3).all(|s| a.latest(s).is_none()));
+        assert!(!a.is_empty());
+        a.reset(0);
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Deterministic fault injection for the shard coordination loop.
+//!
+//! The chaos harness exercises the coordinator's fault-tolerance machinery
+//! — retry ladders, straggler carry-forward, offer quarantine, circuit
+//! breakers — without any real hardware failing. Three fault classes mirror
+//! what a distributed deployment of the per-shard ℙ₂ solvers would hit:
+//!
+//! - **panic**: the shard worker dies mid-solve (process crash, OOM kill);
+//! - **delay**: the shard worker straggles (network partition, noisy
+//!   neighbor) and blows through its round budget;
+//! - **corrupt**: the shard's offer arrives damaged (truncated transfer,
+//!   bit flip) carrying NaN/Inf/negative entries.
+//!
+//! Every roll is a pure function of `(seed, slot, round, shard, attempt)`
+//! through SplitMix64 finalizer chaining — *which* faults fire is
+//! reproducible across runs and independent of thread scheduling. The
+//! attempt index is part of the key on purpose: a panic on attempt 0 does
+//! not doom attempt 1, so the retry ladder has something to recover.
+
+use crate::plan::mix;
+
+/// What kind of damage an injected corruption writes into an offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// One entry becomes NaN.
+    Nan,
+    /// One entry becomes +∞.
+    Inf,
+    /// One entry becomes a large negative value.
+    Negative,
+}
+
+/// The faults one shard solve attempt draws (see [`ChaosConfig::roll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRoll {
+    /// Panic instead of solving.
+    pub panic: bool,
+    /// Sleep this long (milliseconds) before solving (0 = no delay).
+    pub delay_ms: f64,
+    /// Corrupt the produced offer, and how.
+    pub corrupt: Option<CorruptKind>,
+    /// Deterministic entropy for picking *which* entry to corrupt (the
+    /// injector takes it modulo the offer length).
+    pub entropy: u64,
+}
+
+/// Seeded fault-injection probabilities for the coordinator.
+///
+/// All probabilities are clamped to `[0, 1]` at roll time; a config with
+/// every probability at zero is inert ([`ChaosConfig::is_active`] is
+/// `false`) and the coordinator skips the injection path entirely, keeping
+/// fault-free runs bit-identical to a build without chaos wired in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault rolls.
+    pub seed: u64,
+    /// Probability a shard solve attempt panics.
+    pub panic_prob: f64,
+    /// Probability a shard solve attempt is delayed.
+    pub delay_prob: f64,
+    /// Injected delay length in milliseconds (applies when the delay
+    /// fires).
+    pub delay_ms: f64,
+    /// Probability a fresh offer is corrupted before quarantine screening.
+    pub corrupt_prob: f64,
+}
+
+impl ChaosConfig {
+    /// An inert config: nothing ever fires.
+    pub fn disabled() -> Self {
+        ChaosConfig {
+            seed: 0,
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0.0,
+            corrupt_prob: 0.0,
+        }
+    }
+
+    /// Whether any fault can fire at all.
+    pub fn is_active(&self) -> bool {
+        self.panic_prob > 0.0
+            || (self.delay_prob > 0.0 && self.delay_ms > 0.0)
+            || self.corrupt_prob > 0.0
+    }
+
+    /// The faults drawn for one `(slot, round, shard, attempt)` solve
+    /// attempt. Pure and order-independent: the same key always rolls the
+    /// same faults, whatever the thread interleaving.
+    pub fn roll(&self, slot: usize, round: usize, shard: usize, attempt: usize) -> FaultRoll {
+        let key = self.key(slot, round, shard, attempt);
+        let panic = uniform(mix(key ^ 0x01)) < self.panic_prob.clamp(0.0, 1.0);
+        let delayed = uniform(mix(key ^ 0x02)) < self.delay_prob.clamp(0.0, 1.0);
+        let corrupt = if uniform(mix(key ^ 0x03)) < self.corrupt_prob.clamp(0.0, 1.0) {
+            Some(match mix(key ^ 0x04) % 3 {
+                0 => CorruptKind::Nan,
+                1 => CorruptKind::Inf,
+                _ => CorruptKind::Negative,
+            })
+        } else {
+            None
+        };
+        FaultRoll {
+            panic,
+            delay_ms: if delayed { self.delay_ms.max(0.0) } else { 0.0 },
+            corrupt,
+            entropy: mix(key ^ 0x05),
+        }
+    }
+
+    fn key(&self, slot: usize, round: usize, shard: usize, attempt: usize) -> u64 {
+        let mut k = mix(self.seed);
+        for part in [slot as u64, round as u64, shard as u64, attempt as u64] {
+            k = mix(k ^ mix(part));
+        }
+        k
+    }
+}
+
+/// Writes one fault of kind `kind` into `x` at a deterministic index.
+/// No-op on an empty offer.
+pub fn corrupt_offer(x: &mut [f64], kind: CorruptKind, entropy: u64) {
+    if x.is_empty() {
+        return;
+    }
+    let idx = (entropy % x.len() as u64) as usize;
+    x[idx] = match kind {
+        CorruptKind::Nan => f64::NAN,
+        CorruptKind::Inf => f64::INFINITY,
+        CorruptKind::Negative => -1e6,
+    };
+}
+
+/// Maps a 64-bit hash to a uniform double in `[0, 1)` (53 mantissa bits).
+fn uniform(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active() -> ChaosConfig {
+        ChaosConfig {
+            seed: 42,
+            panic_prob: 0.5,
+            delay_prob: 0.5,
+            delay_ms: 10.0,
+            corrupt_prob: 0.5,
+        }
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_key() {
+        let c = active();
+        for slot in 0..4 {
+            for round in 0..3 {
+                for shard in 0..3 {
+                    for attempt in 0..2 {
+                        let a = c.roll(slot, round, shard, attempt);
+                        let b = c.roll(slot, round, shard, attempt);
+                        assert_eq!(a, b, "roll({slot},{round},{shard},{attempt}) unstable");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_keys_draw_distinct_fates() {
+        // Not all keys roll the same outcome: over a few hundred keys each
+        // fault class both fires and spares at 0.5 probability.
+        let c = active();
+        let mut panics = 0;
+        let mut delays = 0;
+        let mut corrupts = 0;
+        let n = 400;
+        for slot in 0..n {
+            let r = c.roll(slot, 0, 0, 0);
+            panics += r.panic as usize;
+            delays += (r.delay_ms > 0.0) as usize;
+            corrupts += r.corrupt.is_some() as usize;
+        }
+        for (label, count) in [("panic", panics), ("delay", delays), ("corrupt", corrupts)] {
+            assert!(
+                count > n / 10 && count < n - n / 10,
+                "{label} fired {count}/{n} times at p=0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn attempt_index_rerolls_the_fate() {
+        // Retries must be able to escape an injected panic: across many
+        // keys, some attempt-0 panic while attempt-1 does not.
+        let c = ChaosConfig {
+            panic_prob: 0.5,
+            ..active()
+        };
+        let escaped = (0..200).any(|slot| {
+            let first = c.roll(slot, 0, 0, 0);
+            let second = c.roll(slot, 0, 0, 1);
+            first.panic && !second.panic
+        });
+        assert!(escaped, "no retry ever escaped an injected panic");
+    }
+
+    #[test]
+    fn disabled_config_is_inert() {
+        let c = ChaosConfig::disabled();
+        assert!(!c.is_active());
+        for slot in 0..50 {
+            let r = c.roll(slot, 0, 0, 0);
+            assert!(!r.panic);
+            assert_eq!(r.delay_ms, 0.0);
+            assert!(r.corrupt.is_none());
+        }
+        // A delay probability without a delay length is also inert.
+        let no_len = ChaosConfig {
+            delay_prob: 1.0,
+            ..ChaosConfig::disabled()
+        };
+        assert!(!no_len.is_active());
+    }
+
+    #[test]
+    fn corrupt_offer_damages_exactly_one_entry() {
+        let mut x = vec![1.0; 8];
+        corrupt_offer(&mut x, CorruptKind::Nan, 13);
+        assert_eq!(x.iter().filter(|v| v.is_nan()).count(), 1);
+        let mut y = vec![1.0; 8];
+        corrupt_offer(&mut y, CorruptKind::Inf, 13);
+        assert_eq!(y.iter().filter(|v| v.is_infinite()).count(), 1);
+        let mut z = vec![1.0; 8];
+        corrupt_offer(&mut z, CorruptKind::Negative, 13);
+        assert_eq!(z.iter().filter(|v| **v < 0.0).count(), 1);
+        corrupt_offer(&mut [], CorruptKind::Nan, 13);
+    }
+}

@@ -35,6 +35,39 @@
 //! this relative gap both fall below tolerance; a deadline or round cap
 //! instead adopts the best exactly-feasible projected round seen
 //! ([`DualAscent::offer`]).
+//!
+//! # Fault tolerance
+//!
+//! The coordinator is only as reliable as its weakest shard worker unless
+//! every failure mode is contained, so each per-shard solve runs behind
+//! four layers of isolation (see `DESIGN.md` §14 for the full model):
+//!
+//! - **Panic isolation + retry ladder**: every solve attempt runs under
+//!   `catch_unwind`; a panic, solver error, or quarantined offer triggers
+//!   up to [`CoordinatorConfig::retry_limit`] deterministic retries with
+//!   escalating state resets (drop the warm start, then the workspace),
+//!   each on an even [`SolveBudget::slice`] of what remains of the round
+//!   budget.
+//! - **Offer quarantine**: a fresh offer must have the right shape, finite
+//!   non-negative entries, a finite objective, and a valid gap before it
+//!   may touch the merge or the carry-forward archive.
+//! - **Straggler carry-forward**: a round completes with K-of-S fresh
+//!   offers ([`CoordinatorConfig::min_fresh`]); a missing shard's last
+//!   archived offer ([`optim::dual::OfferArchive`]) is merged instead,
+//!   with its dual contribution re-priced by the staleness correction
+//!   `m ≥ obj° − gap° − Σ_i (old_i − new_i)⁺·C_i` (valid because the
+//!   explicit capacity rows bound the shard's cloud totals by `C_i`), so a
+//!   stale offer can only *weaken* the certified bound `D`, never tighten
+//!   it. Offers archived in an earlier slot price a different program and
+//!   contribute no certificate at all.
+//! - **Circuit breaker**: a shard that fails
+//!   [`CoordinatorConfig::breaker_threshold`] consecutive rounds is merged
+//!   into its smallest neighbor (re-plan via [`ShardPlan::merged`]); at
+//!   two shards the slot is abandoned to the monolithic fallback instead.
+//!
+//! With no chaos configured and no failures occurring, every layer is
+//! inert and the trajectory is bit-identical to the pre-fault-tolerance
+//! coordinator.
 
 use edgealloc::algorithms::SlotInput;
 use edgealloc::allocation::Allocation;
@@ -43,10 +76,13 @@ use edgealloc::programs::p2::{self, CapacityMode, Epsilons, P2Workspace};
 use edgealloc::{Error, Result};
 use optim::budget::SolveBudget;
 use optim::convex::{BarrierOptions, SchurKernel};
-use optim::dual::{DualAscent, StepSchedule};
-use optim::parallel::{try_parallel_map_budgeted, WorkerBudget};
+use optim::dual::{ArchivedOffer, DualAscent, OfferArchive, StepSchedule};
+use optim::parallel::{panic_message, try_parallel_map_budgeted, WorkerBudget};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Duration;
 
+use crate::chaos::{corrupt_offer, ChaosConfig};
 use crate::merge::{merge_shards, project_exact, restrict};
 use crate::plan::ShardPlan;
 
@@ -87,6 +123,25 @@ pub struct CoordinatorConfig {
     pub solver_threads: usize,
     /// Barrier options for the shard solves.
     pub options: BarrierOptions,
+    /// Retries per shard per round after a panic, solver error, or
+    /// quarantined offer (0 = first attempt only). Retries escalate —
+    /// attempt 1 drops the warm start, attempt 2 also rebuilds the
+    /// workspace — and each runs on an even slice of what remains of the
+    /// round budget.
+    pub retry_limit: usize,
+    /// Consecutive failed rounds (across slots) before a shard's circuit
+    /// breaker trips: its users are merged into the smallest neighbor
+    /// shard, or — at two shards — the slot is abandoned to the monolithic
+    /// fallback.
+    pub breaker_threshold: usize,
+    /// Minimum *fresh* (this-round) shard offers a coordination round
+    /// needs to complete; the remaining shards may be covered by archived
+    /// carry-forward offers. Clamped to `[1, shards]`.
+    pub min_fresh: usize,
+    /// Deterministic fault injection for the chaos harness (`None` and
+    /// inert configs leave the solve path bit-identical to a build
+    /// without chaos).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for CoordinatorConfig {
@@ -104,6 +159,10 @@ impl Default for CoordinatorConfig {
             kernel: SchurKernel::Auto,
             solver_threads: 1,
             options: BarrierOptions::default(),
+            retry_limit: 2,
+            breaker_threshold: 3,
+            min_fresh: 1,
+            chaos: None,
         }
     }
 }
@@ -166,6 +225,22 @@ struct ShardSolve {
     deadline_hit: bool,
 }
 
+/// What one shard contributed to a round after panic isolation, the retry
+/// ladder, fault injection, and quarantine screening.
+struct RoundShard {
+    /// The accepted fresh offer (`None` = every attempt failed).
+    fresh: Option<ShardSolve>,
+    /// Retry attempts taken beyond the first.
+    retries: usize,
+    /// Offers rejected by the quarantine screen.
+    quarantined: usize,
+    /// Whether any attempt ran into the round budget.
+    deadline_hit: bool,
+    /// The last failure swallowed (panic, solver error, or quarantine);
+    /// `None` when the first attempt succeeded cleanly.
+    error: Option<String>,
+}
+
 /// A fully evaluated coordination round kept as the adoption candidate.
 struct RoundCandidate {
     x: Allocation,
@@ -184,8 +259,19 @@ struct RoundCandidate {
 pub struct Coordinator {
     cfg: CoordinatorConfig,
     plan: ShardPlan,
+    /// The shard count this coordinator was asked for — the circuit
+    /// breaker may merge the *plan* below it, and that re-plan must
+    /// survive [`Coordinator::matches`] on the next slot.
+    requested_shards: usize,
     states: Vec<ShardState>,
     prices: Vec<f64>,
+    /// Per-shard archive of the most recent feasible offer — the
+    /// carry-forward substitute when a shard fails or straggles.
+    archive: OfferArchive,
+    /// Per-shard consecutive failed-round counts (persisted across slots,
+    /// reset by any fresh offer); the circuit breaker trips at
+    /// [`CoordinatorConfig::breaker_threshold`].
+    breaker: Vec<usize>,
     /// Lazily built monolithic workspace for the hybrid refinement
     /// ([`Coordinator::polish`]); retained across slots like the shard
     /// workspaces so repeated polishes pay no rebuild.
@@ -200,11 +286,15 @@ impl Coordinator {
         let states = (0..plan.num_shards())
             .map(|s| ShardState::new(plan.users(s).to_vec(), input))
             .collect();
+        let num_shards = plan.num_shards();
         Coordinator {
+            requested_shards: cfg.shards,
             cfg,
             plan,
             states,
             prices: vec![0.0; input.num_clouds()],
+            archive: OfferArchive::new(num_shards),
+            breaker: vec![0; num_shards],
             mono: None,
         }
     }
@@ -214,10 +304,13 @@ impl Coordinator {
         &self.plan
     }
 
-    /// Whether this coordinator still matches the instance shape.
+    /// Whether this coordinator still matches the instance shape. Compares
+    /// the *requested* shard count, not the current plan's: a breaker
+    /// re-plan deliberately runs below the requested count and must not be
+    /// reverted (and its sick shard resurrected) on the next slot.
     pub fn matches(&self, input: &SlotInput<'_>, shards: usize) -> bool {
         self.plan.num_users() == input.num_users()
-            && self.plan.num_shards() == shards.min(input.num_users())
+            && self.requested_shards == shards
             && self.prices.len() == input.num_clouds()
     }
 
@@ -277,7 +370,7 @@ impl Coordinator {
         // Last round's (linearization point, aggregate response) — the
         // second sample the secant update on ŷ needs.
         let mut prev_response: Option<(Vec<f64>, Vec<f64>)> = None;
-        for _round in 0..self.cfg.max_rounds {
+        for round in 0..self.cfg.max_rounds {
             if !budget.is_unlimited() && budget.exhausted(0) {
                 deadline_hit = true;
                 break;
@@ -288,8 +381,12 @@ impl Coordinator {
                 .zip(&yhat)
                 .map(|(t, &y)| t.map_or(0.0, |t| t.deriv(y)))
                 .collect();
+            // Total per-cloud price each shard is charged this round; the
+            // carry-forward archive keeps it per offer so a stale offer's
+            // bound can be re-priced later.
+            let tot: Vec<f64> = (0..num_clouds).map(|i| ascent.prices()[i] + g[i]).collect();
             let adjusted: Vec<f64> = (0..num_clouds)
-                .map(|i| input.operation_prices[i] + (ascent.prices()[i] + g[i]) / w_op)
+                .map(|i| input.operation_prices[i] + tot[i] / w_op)
                 .collect();
             if adjusted.iter().any(|a| !a.is_finite()) {
                 last_err = Some(Error::Invalid(
@@ -297,20 +394,95 @@ impl Coordinator {
                 ));
                 break;
             }
-            let solves =
-                match self.solve_round(input, &adjusted, &zero_reconfig, &round_budget, health) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        last_err = Some(e);
-                        break;
-                    }
-                };
+            let outcomes = self.solve_round(input, &adjusted, &zero_reconfig, &round_budget, round);
             health.coord_rounds += 1;
             health.attempts += 1;
-            deadline_hit |= solves.iter().any(|s| s.deadline_hit);
-            health.newton_steps += solves.iter().map(|s| s.newton_steps).sum::<usize>();
 
-            let parts: Vec<Vec<f64>> = solves.iter().map(|s| s.x.clone()).collect();
+            // Fold the round's offers in: fresh offers are archived and
+            // contribute their certified bound at the current prices; a
+            // failed shard falls back to its archived offer with the
+            // staleness-corrected (weaker, still valid) bound.
+            let s_now = self.plan.num_shards();
+            let mut parts: Vec<Option<Vec<f64>>> = Vec::with_capacity(s_now);
+            let mut shard_bound = 0.0f64;
+            let mut fresh_gap_sum = 0.0f64;
+            let mut fresh_count = 0usize;
+            let mut stale_used = 0usize;
+            let mut round_err: Option<String> = None;
+            for (s, out) in outcomes.into_iter().enumerate() {
+                health.shard_retries += out.retries;
+                health.quarantined_offers += out.quarantined;
+                deadline_hit |= out.deadline_hit;
+                if let Some(err) = out.error {
+                    let msg = format!("shard {s}: {err}");
+                    health.note_error(&msg);
+                    round_err.get_or_insert(msg);
+                }
+                match out.fresh {
+                    Some(sv) => {
+                        fresh_count += 1;
+                        self.breaker[s] = 0;
+                        health.newton_steps += sv.newton_steps;
+                        shard_bound += sv.objective - sv.gap;
+                        fresh_gap_sum += sv.gap;
+                        self.archive.record(
+                            s,
+                            ArchivedOffer {
+                                x: sv.x.clone(),
+                                objective: sv.objective,
+                                gap: sv.gap,
+                                prices: tot.clone(),
+                                round,
+                                epoch: input.t,
+                            },
+                        );
+                        parts.push(Some(sv.x));
+                    }
+                    None => {
+                        self.breaker[s] = self.breaker[s].saturating_add(1);
+                        match self.archive.latest(s) {
+                            Some(old) if old.x.len() == self.states[s].users.len() * num_clouds => {
+                                stale_used += 1;
+                                shard_bound += stale_bound(old, &tot, &caps, input.t);
+                                parts.push(Some(old.x.clone()));
+                            }
+                            _ => parts.push(None),
+                        }
+                    }
+                }
+            }
+            health.stale_offers += stale_used;
+            if fresh_count < s_now {
+                health.degraded_rounds += 1;
+            }
+            if fresh_count == 0 && stale_used == 0 {
+                // Every shard failed and nothing usable is archived: the
+                // slot cannot be coordinated at all (e.g. a fault stripped
+                // the barrier's interior on every shard). Still run the
+                // breaker so chronic failure re-plans for the next slot,
+                // then surface the concrete shard error over the breaker's
+                // generic message.
+                self.breaker_round(input, prev, health, &mut last_err);
+                last_err = Some(Error::Invalid(round_err.unwrap_or_else(|| {
+                    "every shard failed and no offer is archived".into()
+                })));
+                break;
+            }
+            let min_fresh = self.cfg.min_fresh.clamp(1, s_now);
+            if fresh_count < min_fresh || parts.iter().any(|p| p.is_none()) {
+                // Too few offers to merge a round: count it as a stall and
+                // re-roll at the same prices (the breaker below re-plans a
+                // persistently sick shard).
+                stalled_rounds += 1;
+                if best.is_some() && stalled_rounds >= self.cfg.stall_rounds {
+                    break;
+                }
+                if self.breaker_round(input, prev, health, &mut last_err) {
+                    break;
+                }
+                continue;
+            }
+            let parts: Vec<Vec<f64>> = parts.into_iter().map(|p| p.expect("screened")).collect();
             let merged = merge_shards(&self.plan, &parts, num_clouds, num_users);
             let y: Vec<f64> = (0..num_clouds).map(|i| merged.cloud_total(i)).collect();
             let violation: Vec<f64> = (0..num_clouds).map(|i| y[i] - caps[i]).collect();
@@ -323,8 +495,10 @@ impl Coordinator {
                 Ok(()) => {
                     match p2::slot_objective(input, prev, &projected, self.cfg.eps) {
                         Ok(f_proj) => {
-                            // Dual lower bound at this round's prices.
-                            let mut d: f64 = solves.iter().map(|s| s.objective - s.gap).sum();
+                            // Dual lower bound at this round's prices
+                            // (stale offers enter `shard_bound` already
+                            // weakened by their staleness correction).
+                            let mut d: f64 = shard_bound;
                             for i in 0..num_clouds {
                                 if let Some(t) = phi[i] {
                                     d += t.value(yhat[i]) - g[i] * yhat[i];
@@ -343,7 +517,7 @@ impl Coordinator {
                                 f64::INFINITY
                             };
                             if std::env::var_os("SHARD_DEBUG").is_some() {
-                                let gap_sum: f64 = solves.iter().map(|s| s.gap).sum();
+                                let gap_sum = fresh_gap_sum;
                                 let mu_slack: f64 = (0..num_clouds)
                                     .map(|i| ascent.prices()[i] * (caps[i] - y[i]))
                                     .sum();
@@ -380,10 +554,6 @@ impl Coordinator {
                     None
                 }
             };
-            // Stash warm starts for the next round (and the next slot).
-            for (st, s) in self.states.iter_mut().zip(&solves) {
-                st.warm = Some(s.x.clone());
-            }
             let mut meaningful = false;
             if let Some(c) = candidate {
                 let converged =
@@ -451,8 +621,12 @@ impl Coordinator {
             }
             prev_response = Some((yhat_now, y.clone()));
             ascent.ascend(&violation);
+            if self.breaker_round(input, prev, health, &mut last_err) {
+                break;
+            }
         }
         self.prices = ascent.prices().to_vec();
+        health.shards = self.plan.num_shards();
         health.deadline_hit |= deadline_hit;
         // Hybrid refinement: coordination stalled (or ran out of rounds)
         // short of the gap tolerance. The best projected round is within
@@ -627,38 +801,262 @@ impl Coordinator {
     /// them inline). All shards share the round's absolute deadline rather
     /// than pre-split slices, so sequential execution hands unused time
     /// forward and parallel execution gives each shard the full window.
+    /// Every shard runs its own isolated retry ladder
+    /// ([`solve_shard_isolated`]); a failed shard yields a `fresh: None`
+    /// entry instead of aborting the round.
     fn solve_round(
         &mut self,
         input: &SlotInput<'_>,
         adjusted: &[f64],
         zero_reconfig: &[f64],
         round_budget: &SolveBudget,
-        health: &mut SlotHealth,
-    ) -> Result<Vec<ShardSolve>> {
+        round: usize,
+    ) -> Vec<RoundShard> {
         let cfg = &self.cfg;
+        let chaos = cfg.chaos.filter(|c| c.is_active());
         let want = self.states.len();
-        let items: Vec<Mutex<&mut ShardState>> = self.states.iter_mut().map(Mutex::new).collect();
+        let items: Vec<Mutex<(usize, &mut ShardState)>> =
+            self.states.iter_mut().enumerate().map(Mutex::new).collect();
         let results = try_parallel_map_budgeted(&items, want, WorkerBudget::global(), |cell| {
-            let st = &mut *cell.lock().expect("shard state lock poisoned");
-            solve_shard(st, input, adjusted, zero_reconfig, cfg, round_budget)
+            let (s, st) = &mut *cell.lock().expect("shard state lock poisoned");
+            solve_shard_isolated(
+                *s,
+                st,
+                input,
+                adjusted,
+                zero_reconfig,
+                cfg,
+                round_budget,
+                round,
+                chaos.as_ref(),
+            )
         });
-        let mut solves = Vec::with_capacity(results.len());
-        for (s, r) in results.into_iter().enumerate() {
-            match r {
-                Ok(Ok(solve)) => solves.push(solve),
-                Ok(Err(e)) => {
-                    health.note_error(format!("shard {s}: {e}"));
-                    return Err(e);
-                }
-                Err(panic_msg) => {
-                    let e = Error::Invalid(format!("shard {s} solver {panic_msg}"));
-                    health.note_error(&e);
-                    return Err(e);
-                }
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(out) => out,
+                // The retry ladder itself panicked (outside any attempt's
+                // own isolation): the shard failed for the round.
+                Err(panic_msg) => RoundShard {
+                    fresh: None,
+                    retries: 0,
+                    quarantined: 0,
+                    deadline_hit: false,
+                    error: Some(format!("solver {panic_msg}")),
+                },
+            })
+            .collect()
+    }
+
+    /// The end-of-round circuit-breaker check: any shard at
+    /// [`CoordinatorConfig::breaker_threshold`] consecutive failures is
+    /// merged into its smallest healthy neighbor. Returns `true` when
+    /// coordination must stop instead — a trip with no third shard to
+    /// absorb the users, which abandons the slot to the caller's
+    /// monolithic fallback (or to the best round already in hand).
+    fn breaker_round(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+        last_err: &mut Option<Error>,
+    ) -> bool {
+        let threshold = self.cfg.breaker_threshold.max(1);
+        let Some(sick) = self.breaker.iter().position(|&c| c >= threshold) else {
+            return false;
+        };
+        health.breaker_trips += 1;
+        if self.plan.num_shards() <= 2 {
+            *last_err = Some(Error::Invalid(format!(
+                "shard {sick} failed {} consecutive rounds with only {} shards; \
+                 abandoning coordination for this slot",
+                self.breaker[sick],
+                self.plan.num_shards()
+            )));
+            return true;
+        }
+        self.replan_without(sick, input, prev);
+        false
+    }
+
+    /// The circuit-breaker re-plan: merge the sick shard's users into the
+    /// shard with the fewest users (deterministic tie-break by index),
+    /// rebuild the per-shard solve states for the current slot, and reset
+    /// the archive and breaker counters — offers and failure counts are
+    /// indexed by shard, and the re-plan reassigns users across shards.
+    fn replan_without(&mut self, sick: usize, input: &SlotInput<'_>, prev: &Allocation) {
+        let into = (0..self.plan.num_shards())
+            .filter(|&s| s != sick)
+            .min_by_key(|&s| (self.plan.users(s).len(), s))
+            .expect("breaker re-plan needs at least two shards");
+        self.plan = self.plan.merged(sick, into);
+        self.states = (0..self.plan.num_shards())
+            .map(|s| {
+                let mut st = ShardState::new(self.plan.users(s).to_vec(), input);
+                st.begin_slot(input, prev);
+                st
+            })
+            .collect();
+        self.archive.reset(self.plan.num_shards());
+        self.breaker = vec![0; self.plan.num_shards()];
+    }
+}
+
+/// One shard's full per-round solve chain: fault injection (when chaos is
+/// configured), panic isolation, the bounded retry ladder, and the
+/// quarantine screen. Never panics and never returns a corrupt offer.
+///
+/// The ladder escalates deterministically: attempt 0 runs exactly as a
+/// pre-fault-tolerance round did (full round budget, warm start), so
+/// fault-free trajectories stay bit-identical; attempt 1 drops the warm
+/// start and its `t0` seed (the warm data may be what is breaking the
+/// solve); attempt 2+ also rebuilds the workspace from scratch. Retries
+/// run on an even [`SolveBudget::slice`] of whatever remains of the round
+/// budget, so a crash-looping shard cannot starve its peers past the
+/// round deadline.
+#[allow(clippy::too_many_arguments)]
+fn solve_shard_isolated(
+    s: usize,
+    st: &mut ShardState,
+    parent: &SlotInput<'_>,
+    adjusted: &[f64],
+    zero_reconfig: &[f64],
+    cfg: &CoordinatorConfig,
+    round_budget: &SolveBudget,
+    round: usize,
+    chaos: Option<&ChaosConfig>,
+) -> RoundShard {
+    let expected = st.users.len() * parent.num_clouds();
+    let max_attempts = 1 + cfg.retry_limit;
+    let mut out = RoundShard {
+        fresh: None,
+        retries: 0,
+        quarantined: 0,
+        deadline_hit: false,
+        error: None,
+    };
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            if !round_budget.is_unlimited() && round_budget.exhausted(0) {
+                out.deadline_hit = true;
+                break;
+            }
+            out.retries += 1;
+            st.warm = None;
+            st.last_t_final = None;
+            if attempt >= 2 {
+                st.workspace = None;
             }
         }
-        Ok(solves)
+        let attempt_budget = if attempt == 0 {
+            *round_budget
+        } else {
+            round_budget.slice(max_attempts - attempt)
+        };
+        let roll = chaos
+            .map(|c| c.roll(parent.t, round, s, attempt))
+            .unwrap_or_default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if roll.delay_ms > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(roll.delay_ms / 1e3));
+            }
+            if roll.panic {
+                panic!(
+                    "injected shard panic (slot {}, round {round}, shard {s})",
+                    parent.t
+                );
+            }
+            solve_shard(st, parent, adjusted, zero_reconfig, cfg, &attempt_budget).map(|mut sv| {
+                if let Some(kind) = roll.corrupt {
+                    corrupt_offer(&mut sv.x, kind, roll.entropy);
+                }
+                sv
+            })
+        }));
+        match result {
+            Ok(Ok(sv)) => {
+                out.deadline_hit |= sv.deadline_hit;
+                match screen_offer(&sv, expected) {
+                    Ok(()) => {
+                        st.warm = Some(sv.x.clone());
+                        out.fresh = Some(sv);
+                        return out;
+                    }
+                    Err(msg) => {
+                        out.quarantined += 1;
+                        out.error = Some(format!("quarantined offer: {msg}"));
+                        // The solver state that produced a corrupt offer
+                        // is suspect; never warm-start from it.
+                        st.warm = None;
+                        st.last_t_final = None;
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                if matches!(e, Error::Solver(optim::Error::DeadlineExceeded { .. })) {
+                    out.deadline_hit = true;
+                }
+                out.error = Some(e.to_string());
+            }
+            Err(payload) => {
+                out.error = Some(format!("solver panicked: {}", panic_message(payload)));
+                // A panic can leave the workspace mid-update; rebuild it
+                // before the next attempt touches it.
+                st.workspace = None;
+                st.warm = None;
+                st.last_t_final = None;
+            }
+        }
     }
+    out
+}
+
+/// The quarantine screen a fresh offer must pass before it may reach the
+/// merge or the carry-forward archive: the right shape, finite entries, no
+/// genuinely negative allocation (float noise above `−10⁻⁹` passes — the
+/// exact projection clamps it, as it always has), a finite objective, and
+/// a non-NaN, non-negative gap (`+∞` = "no certificate" is honest and
+/// allowed).
+fn screen_offer(sv: &ShardSolve, expected_len: usize) -> std::result::Result<(), String> {
+    if sv.x.len() != expected_len {
+        return Err(format!("shape {} (expected {expected_len})", sv.x.len()));
+    }
+    if let Some(v) = sv.x.iter().find(|v| !v.is_finite()) {
+        return Err(format!("non-finite entry {v}"));
+    }
+    if let Some(v) = sv.x.iter().find(|&&v| v < -1e-9) {
+        return Err(format!("negative entry {v}"));
+    }
+    if !sv.objective.is_finite() {
+        return Err(format!("non-finite objective {}", sv.objective));
+    }
+    if sv.gap.is_nan() || sv.gap < 0.0 {
+        return Err(format!("invalid gap {}", sv.gap));
+    }
+    Ok(())
+}
+
+/// The staleness correction for a carried-forward offer's dual
+/// contribution. The shard objective at total prices `p` is
+/// `f_s(x) = base_s(x) + Σ_i p_i·y_si` with `0 ≤ y_si ≤ C_i` (explicit
+/// capacity rows), so a bound `obj° − gap°` certified at old prices still
+/// bounds the current-price shard minimum after paying
+/// `Σ_i (old_i − new_i)⁺ · C_i` — price increases cost nothing (their
+/// term is nonnegative), price *drops* are charged at the worst case
+/// `y_si = C_i`. The correction is one-sided by construction: a stale
+/// offer can only weaken the round's bound `D`. Offers from an earlier
+/// slot (epoch mismatch) price a different program entirely and
+/// contribute `−∞` — a usable warm decision, no certificate.
+fn stale_bound(old: &ArchivedOffer, tot: &[f64], caps: &[f64], slot: usize) -> f64 {
+    if old.epoch != slot || !old.gap.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let mut m = old.objective - old.gap;
+    for (i, &cap) in caps.iter().enumerate() {
+        let old_p = old.prices.get(i).copied().unwrap_or(0.0);
+        m -= (old_p - tot[i]).max(0.0) * cap;
+    }
+    m
 }
 
 /// One shard's restricted ℙ₂ for the round: the shard's own users, the

@@ -27,11 +27,13 @@
 //! (name `online-sharded`) with a monolithic fallback for the cases
 //! decomposition cannot handle.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod merge;
 pub mod plan;
 pub mod sharded;
 
+pub use chaos::{ChaosConfig, CorruptKind, FaultRoll};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use merge::{merge_shards, project_exact, restrict};
 pub use plan::ShardPlan;

@@ -134,10 +134,34 @@ impl ShardPlan {
             .map(|group| group.iter().map(|&j| weights[j]).sum())
             .collect()
     }
+
+    /// The circuit-breaker re-plan: a new partition with shard `sick`'s
+    /// users merged into shard `into`, and `sick`'s slot removed (shards
+    /// above `sick` shift down by one). The merged shard's user list stays
+    /// in ascending order, so restriction/scatter and warm-start alignment
+    /// behave exactly as for a freshly planned shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sick == into`, either index is out of range, or the
+    /// plan has fewer than two shards.
+    pub fn merged(&self, sick: usize, into: usize) -> ShardPlan {
+        assert!(self.num_shards() >= 2, "cannot merge a single-shard plan");
+        assert!(sick != into, "cannot merge a shard into itself");
+        assert!(sick < self.num_shards(), "sick shard out of range");
+        assert!(into < self.num_shards(), "target shard out of range");
+        let mut groups = self.users.clone();
+        let moved = std::mem::take(&mut groups[sick]);
+        groups[into].extend(moved);
+        groups[into].sort_unstable();
+        groups.remove(sick);
+        Self::from_groups(self.num_users(), groups)
+    }
 }
 
-/// SplitMix64's finalizer: a cheap, well-mixed deterministic hash.
-fn mix(mut z: u64) -> u64 {
+/// SplitMix64's finalizer: a cheap, well-mixed deterministic hash (also
+/// the keyed-hash primitive behind `chaos`'s fault rolls).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -200,6 +224,35 @@ mod tests {
         let workloads = [1.0, f64::NAN, 3.0, -2.0, f64::INFINITY, 2.0];
         let plan = ShardPlan::balanced(&workloads, 3);
         assert_is_partition(&plan, workloads.len());
+    }
+
+    #[test]
+    fn merged_plan_is_a_partition_with_sorted_groups() {
+        let workloads: Vec<f64> = (0..17).map(|j| 1.0 + (j % 4) as f64).collect();
+        let plan = ShardPlan::balanced(&workloads, 4);
+        let sick_users: Vec<usize> = plan.users(2).to_vec();
+        let merged = plan.merged(2, 0);
+        assert_eq!(merged.num_shards(), 3);
+        assert_eq!(merged.num_users(), 17);
+        assert_is_partition(&merged, 17);
+        for &j in &sick_users {
+            assert_eq!(merged.shard_of(j), 0, "user {j} did not land in shard 0");
+        }
+        for s in 0..merged.num_shards() {
+            let us = merged.users(s);
+            assert!(us.windows(2).all(|w| w[0] < w[1]), "shard {s}: {us:?}");
+        }
+        // Shards above the removed slot shift down: old shard 3 is new 2.
+        assert_eq!(merged.users(2), plan.users(3));
+    }
+
+    #[test]
+    fn merged_plan_handles_target_above_sick() {
+        let workloads = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let plan = ShardPlan::balanced(&workloads, 3);
+        let merged = plan.merged(0, 2);
+        assert_eq!(merged.num_shards(), 2);
+        assert_is_partition(&merged, workloads.len());
     }
 
     #[test]

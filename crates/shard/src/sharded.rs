@@ -24,6 +24,7 @@ use optim::budget::SolveBudget;
 use optim::convex::{BarrierOptions, SchurKernel};
 use std::time::Instant;
 
+use crate::chaos::ChaosConfig;
 use crate::coordinator::{Coordinator, CoordinatorConfig};
 
 /// The sharded online algorithm (see the crate docs for the decomposition).
@@ -121,6 +122,33 @@ impl OnlineSharded {
     pub fn with_tolerances(mut self, tol_gap: f64, tol_violation: f64) -> Self {
         self.cfg.tol_gap = tol_gap;
         self.cfg.tol_violation = tol_violation;
+        self
+    }
+
+    /// Installs deterministic shard fault injection (the chaos harness;
+    /// see [`ChaosConfig`]). `None` — or a config whose probabilities are
+    /// all zero — keeps the solve path bit-identical to a run without
+    /// chaos wired in.
+    pub fn with_chaos(mut self, chaos: impl Into<Option<ChaosConfig>>) -> Self {
+        self.cfg.chaos = chaos.into();
+        self.coordinator = None;
+        self
+    }
+
+    /// Retries per shard per round after a panic, solver error, or
+    /// quarantined offer (0 = first attempt only).
+    pub fn with_retry_limit(mut self, retries: usize) -> Self {
+        self.cfg.retry_limit = retries;
+        self.coordinator = None;
+        self
+    }
+
+    /// Consecutive failed rounds before a shard's circuit breaker trips
+    /// (merging the sick shard into a neighbor, or abandoning the slot to
+    /// the monolithic fallback at two shards).
+    pub fn with_breaker_threshold(mut self, rounds: usize) -> Self {
+        self.cfg.breaker_threshold = rounds.max(1);
+        self.coordinator = None;
         self
     }
 

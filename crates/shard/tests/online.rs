@@ -8,7 +8,7 @@ use edgealloc::instance::Instance;
 use edgealloc::system::EdgeCloudSystem;
 use mobility::MobilityInput;
 use optim::convex::SchurKernel;
-use shard::OnlineSharded;
+use shard::{ChaosConfig, OnlineSharded};
 
 /// A deterministic multi-user instance (`fig1_example` has a single user,
 /// which can never shard): `nu` users over 3 clouds and `nt` slots, with
@@ -157,6 +157,93 @@ fn reset_clears_cross_horizon_state() {
                 assert!(
                     (xa.get(i, j) - xb.get(i, j)).abs() < 1e-9,
                     "slot {t}: rerun diverged at ({i}, {j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certain_panics_trip_the_breaker_and_the_run_still_completes() {
+    // Every shard solve attempt panics: no round ever produces a fresh
+    // offer, the breakers trip shard by shard, and every slot lands on the
+    // monolithic fallback — feasible, with the carnage in the telemetry.
+    let inst = multi_user_instance(8, 3);
+    let chaos = ChaosConfig {
+        seed: 5,
+        panic_prob: 1.0,
+        ..ChaosConfig::disabled()
+    };
+    let mut alg = OnlineSharded::new(2).with_chaos(chaos).with_retry_limit(1);
+    let traj = run_online(&inst, &mut alg).expect("horizon survives certain panics");
+    assert_eq!(traj.allocations.len(), inst.num_slots());
+    assert_feasible(&inst, &traj);
+    let summary = traj.health_summary();
+    assert_eq!(summary.sharded_slots, 0, "no slot can complete sharded");
+    assert!(
+        summary.breaker_trips > 0,
+        "breakers never tripped: {summary:?}"
+    );
+    assert!(summary.shard_retries > 0, "retries never ran: {summary:?}");
+}
+
+#[test]
+fn certain_corruption_is_quarantined_and_the_run_still_completes() {
+    // Every fresh offer arrives damaged: quarantine rejects them all, so
+    // the coordinator can never adopt a round, but the horizon still
+    // completes feasibly via the fallback.
+    let inst = multi_user_instance(8, 3);
+    let chaos = ChaosConfig {
+        seed: 6,
+        corrupt_prob: 1.0,
+        ..ChaosConfig::disabled()
+    };
+    let mut alg = OnlineSharded::new(2).with_chaos(chaos).with_retry_limit(1);
+    let traj = run_online(&inst, &mut alg).expect("horizon survives corruption");
+    assert_feasible(&inst, &traj);
+    let summary = traj.health_summary();
+    assert!(
+        summary.quarantined_offers > 0,
+        "no offer was quarantined: {summary:?}"
+    );
+}
+
+#[test]
+fn transient_panics_are_retried_and_sharding_still_wins_slots() {
+    // Moderate panic probability: the attempt-indexed fault rolls let
+    // retries escape, so the decomposition still completes slots while the
+    // retry counter records the recoveries.
+    let inst = multi_user_instance(10, 4);
+    let chaos = ChaosConfig {
+        seed: 11,
+        panic_prob: 0.4,
+        ..ChaosConfig::disabled()
+    };
+    let mut alg = OnlineSharded::new(2).with_chaos(chaos).with_retry_limit(3);
+    let traj = run_online(&inst, &mut alg).expect("horizon survives transient panics");
+    assert_feasible(&inst, &traj);
+    let summary = traj.health_summary();
+    assert!(summary.shard_retries > 0, "no retry recorded: {summary:?}");
+    assert!(
+        summary.sharded_slots > 0,
+        "sharding never completed a slot despite retries: {summary:?}"
+    );
+}
+
+#[test]
+fn inert_chaos_config_leaves_the_trajectory_bit_identical() {
+    let inst = multi_user_instance(8, 3);
+    let mut plain = OnlineSharded::new(2);
+    let a = run_online(&inst, &mut plain).expect("plain run");
+    let mut wired = OnlineSharded::new(2).with_chaos(ChaosConfig::disabled());
+    let b = run_online(&inst, &mut wired).expect("chaos-disabled run");
+    for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+        for i in 0..inst.num_clouds() {
+            for j in 0..inst.num_users() {
+                assert_eq!(
+                    xa.get(i, j),
+                    xb.get(i, j),
+                    "slot {t}: inert chaos changed the decision at ({i}, {j})"
                 );
             }
         }

@@ -161,6 +161,59 @@ proptest! {
     }
 
     #[test]
+    fn stale_and_missing_shard_offers_still_project_exactly_feasible(
+        inst in small_instance(),
+        raw_fresh in proptest::collection::vec(0.0f64..2.0, 48),
+        raw_stale in proptest::collection::vec(0.0f64..2.0, 48),
+        shards in 2usize..5,
+        stale_mask in 0u8..16,
+        missing_mask in 0u8..16,
+    ) {
+        // Straggler carry-forward merges a mixture of this round's offers,
+        // archived offers from an earlier round, and (for shards with no
+        // archive) all-zero placeholders. Whatever the mixture, the merged
+        // point must project to an exactly feasible decision — staleness
+        // may cost optimality, never feasibility.
+        let input = SlotInput::from_instance(&inst, 0);
+        let plan = ShardPlan::balanced(inst.workloads(), shards);
+        let fresh = shard_parts(&plan, inst.num_clouds(), &raw_fresh, 1.0);
+        let stale = shard_parts(&plan, inst.num_clouds(), &raw_stale, 2.5);
+        let parts: Vec<Vec<f64>> = (0..plan.num_shards())
+            .map(|s| {
+                if missing_mask & (1 << (s % 4)) != 0 {
+                    vec![0.0; fresh[s].len()]
+                } else if stale_mask & (1 << (s % 4)) != 0 {
+                    stale[s].clone()
+                } else {
+                    fresh[s].clone()
+                }
+            })
+            .collect();
+        let mut x = merge_shards(&plan, &parts, inst.num_clouds(), inst.num_users());
+        project_exact(&input, &mut x).expect("projection succeeds with 1.5× slack");
+        for j in 0..inst.num_users() {
+            prop_assert!(
+                x.user_total(j) >= inst.workloads()[j],
+                "user {} total {} < λ {}",
+                j, x.user_total(j), inst.workloads()[j]
+            );
+        }
+        for i in 0..inst.num_clouds() {
+            prop_assert!(
+                x.cloud_total(i) <= inst.system().capacity(i),
+                "cloud {} total {} > C {}",
+                i, x.cloud_total(i), inst.system().capacity(i)
+            );
+        }
+        for i in 0..inst.num_clouds() {
+            for j in 0..inst.num_users() {
+                let v = x.get(i, j);
+                prop_assert!(v.is_finite() && v >= 0.0, "entry ({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
     fn merge_then_restrict_roundtrips_each_shard(
         inst in small_instance(),
         raw in proptest::collection::vec(0.0f64..2.0, 48),

@@ -97,6 +97,135 @@ impl FaultKind {
     }
 }
 
+/// One injected *shard-worker* fault class (see [`ShardFaultPlan`]).
+///
+/// Unlike [`FaultKind`], which corrupts the generated instance before the
+/// run, these faults attack the sharded solver *while it runs*: they map
+/// onto [`shard::ChaosConfig`] and fire inside the coordinator's per-shard
+/// solve attempts, exercising the retry ladder, straggler carry-forward,
+/// offer quarantine, and circuit breakers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShardFaultKind {
+    /// Each shard solve attempt panics with probability `prob`.
+    PanicWithProbability {
+        /// Panic probability per attempt, clamped to `[0, 1]` at roll time.
+        prob: f64,
+    },
+    /// Each shard solve attempt straggles for `millis` with probability
+    /// `prob` before solving.
+    InjectedDelay {
+        /// Delay probability per attempt.
+        prob: f64,
+        /// Injected delay length in milliseconds.
+        millis: f64,
+    },
+    /// Each fresh shard offer is corrupted (NaN/Inf/negative entry) with
+    /// probability `prob` before quarantine screening sees it.
+    OfferCorruption {
+        /// Corruption probability per offer.
+        prob: f64,
+    },
+}
+
+/// The shard-worker faults injected into every repetition of a scenario.
+///
+/// An empty plan is inert and keeps the sharded algorithm's trajectory
+/// bit-identical to a run without fault injection wired in. Faults are
+/// deterministic given `seed` (see [`shard::ChaosConfig::roll`]), so a
+/// chaos run is exactly reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardFaultPlan {
+    /// Seed for the deterministic fault rolls.
+    #[serde(default)]
+    pub seed: u64,
+    /// Fault classes, merged into one [`shard::ChaosConfig`]. Listing the
+    /// same class twice keeps the last occurrence.
+    #[serde(default)]
+    pub faults: Vec<ShardFaultKind>,
+}
+
+impl ShardFaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        ShardFaultPlan::default()
+    }
+
+    /// Whether the plan injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.to_chaos().is_none()
+    }
+
+    /// The [`shard::ChaosConfig`] this plan describes, or `None` when the
+    /// plan cannot fire anything (no faults, or all probabilities zero).
+    pub fn to_chaos(&self) -> Option<shard::ChaosConfig> {
+        let mut chaos = shard::ChaosConfig {
+            seed: self.seed,
+            ..shard::ChaosConfig::disabled()
+        };
+        for fault in &self.faults {
+            match *fault {
+                ShardFaultKind::PanicWithProbability { prob } => chaos.panic_prob = prob,
+                ShardFaultKind::InjectedDelay { prob, millis } => {
+                    chaos.delay_prob = prob;
+                    chaos.delay_ms = millis;
+                }
+                ShardFaultKind::OfferCorruption { prob } => chaos.corrupt_prob = prob,
+            }
+        }
+        chaos.is_active().then_some(chaos)
+    }
+
+    /// Parses the CLI spec format used by the bench binaries'
+    /// `--shard-faults` flag: comma-separated `key=value` entries, e.g.
+    /// `panic=0.1,delay=0.2:120,corrupt=0.05,seed=7`.
+    ///
+    /// - `panic=P` — panic probability;
+    /// - `delay=P:MS` — delay probability and length in milliseconds;
+    /// - `corrupt=P` — offer-corruption probability;
+    /// - `seed=N` — fault-roll seed (default 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed entry.
+    pub fn from_spec(spec: &str) -> std::result::Result<Self, String> {
+        let mut plan = ShardFaultPlan::none();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("shard-fault entry `{entry}` is not `key=value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("shard-fault `{key}` has non-numeric value `{v}`"))
+            };
+            match key {
+                "panic" => plan
+                    .faults
+                    .push(ShardFaultKind::PanicWithProbability { prob: prob(value)? }),
+                "delay" => {
+                    let (p, ms) = value.split_once(':').ok_or_else(|| {
+                        format!("shard-fault `delay` needs `prob:millis`, got `{value}`")
+                    })?;
+                    plan.faults.push(ShardFaultKind::InjectedDelay {
+                        prob: prob(p)?,
+                        millis: prob(ms)?,
+                    });
+                }
+                "corrupt" => plan
+                    .faults
+                    .push(ShardFaultKind::OfferCorruption { prob: prob(value)? }),
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("shard-fault seed `{value}` is not a u64"))?;
+                }
+                other => return Err(format!("unknown shard-fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
 /// The set of faults injected into every repetition of a scenario.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -175,6 +304,87 @@ mod tests {
                     assert!(inst.system().delay(i, k).is_infinite());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shard_fault_plan_round_trips_through_json() {
+        let plan = ShardFaultPlan {
+            seed: 7,
+            faults: vec![
+                ShardFaultKind::PanicWithProbability { prob: 0.1 },
+                ShardFaultKind::InjectedDelay {
+                    prob: 0.2,
+                    millis: 120.0,
+                },
+                ShardFaultKind::OfferCorruption { prob: 0.05 },
+            ],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ShardFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert!(!back.is_empty());
+        assert!(ShardFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn shard_fault_plan_maps_onto_chaos_config() {
+        let plan = ShardFaultPlan {
+            seed: 9,
+            faults: vec![
+                ShardFaultKind::PanicWithProbability { prob: 0.15 },
+                ShardFaultKind::InjectedDelay {
+                    prob: 0.25,
+                    millis: 80.0,
+                },
+                ShardFaultKind::OfferCorruption { prob: 0.1 },
+            ],
+        };
+        let chaos = plan.to_chaos().expect("active plan");
+        assert_eq!(chaos.seed, 9);
+        assert_eq!(chaos.panic_prob, 0.15);
+        assert_eq!(chaos.delay_prob, 0.25);
+        assert_eq!(chaos.delay_ms, 80.0);
+        assert_eq!(chaos.corrupt_prob, 0.1);
+        // All-zero probabilities are inert even with entries present.
+        let zeroed = ShardFaultPlan {
+            seed: 1,
+            faults: vec![ShardFaultKind::PanicWithProbability { prob: 0.0 }],
+        };
+        assert!(zeroed.to_chaos().is_none());
+        assert!(zeroed.is_empty());
+    }
+
+    #[test]
+    fn shard_fault_spec_parses_the_documented_format() {
+        let plan =
+            ShardFaultPlan::from_spec("panic=0.1,delay=0.2:120,corrupt=0.05,seed=7").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 3);
+        let chaos = plan.to_chaos().expect("active plan");
+        assert_eq!(chaos.panic_prob, 0.1);
+        assert_eq!(chaos.delay_prob, 0.2);
+        assert_eq!(chaos.delay_ms, 120.0);
+        assert_eq!(chaos.corrupt_prob, 0.05);
+        assert!(ShardFaultPlan::from_spec("").unwrap().is_empty());
+        assert!(ShardFaultPlan::from_spec("panic=0.5")
+            .unwrap()
+            .to_chaos()
+            .is_some());
+    }
+
+    #[test]
+    fn malformed_shard_fault_specs_report_the_entry() {
+        for bad in [
+            "panic",
+            "panic=x",
+            "delay=0.5",
+            "delay=0.5:abc",
+            "bogus=1",
+            "seed=-1",
+        ] {
+            let err = ShardFaultPlan::from_spec(bad).unwrap_err();
+            assert!(!err.is_empty(), "spec `{bad}` produced an empty error");
         }
     }
 

@@ -34,6 +34,6 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use faults::{FaultKind, FaultPlan};
+pub use faults::{FaultKind, FaultPlan, ShardFaultKind, ShardFaultPlan};
 pub use runner::{run_scenario, AlgorithmOutcome, RepFailure, ScenarioOutcome};
 pub use scenario::{AlgorithmKind, MobilityKind, Scenario};

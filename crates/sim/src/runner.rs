@@ -217,7 +217,7 @@ fn run_repetition(scenario: &Scenario, repetition: usize) -> Result<RepetitionRe
     };
     let mut per_algorithm = Vec::with_capacity(scenario.algorithms.len());
     for kind in &scenario.algorithms {
-        let mut alg = kind.build_with_deadline(scenario.slot_deadline_ms);
+        let mut alg = kind.build_full(scenario.slot_deadline_ms, &scenario.shard_faults);
         let traj = edgealloc::algorithms::run_online(&inst, alg.as_mut())?;
         per_algorithm.push((
             evaluate_trajectory(eval, &traj.allocations),

@@ -1,6 +1,6 @@
 //! Declarative experiment descriptions.
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, ShardFaultPlan};
 use edgealloc::algorithms::{
     OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt, PerfOpt, StatOpt, StaticPolicy,
     StaticVariant,
@@ -90,6 +90,18 @@ impl AlgorithmKind {
         &self,
         slot_deadline_ms: Option<f64>,
     ) -> Box<dyn OnlineAlgorithm + Send> {
+        self.build_full(slot_deadline_ms, &ShardFaultPlan::none())
+    }
+
+    /// Instantiates the algorithm with a per-slot deadline *and* the
+    /// scenario's shard-worker fault plan. Only [`AlgorithmKind::Sharded`]
+    /// has shard workers to fault, so only it consumes the plan; every
+    /// other variant builds exactly as [`AlgorithmKind::build_with_deadline`].
+    pub fn build_full(
+        &self,
+        slot_deadline_ms: Option<f64>,
+        shard_faults: &ShardFaultPlan,
+    ) -> Box<dyn OnlineAlgorithm + Send> {
         match *self {
             AlgorithmKind::Approx { eps } => Box::new(
                 OnlineRegularized::with_epsilon(eps).with_slot_deadline_ms(slot_deadline_ms),
@@ -113,6 +125,7 @@ impl AlgorithmKind {
             AlgorithmKind::Sharded { eps, shards } => Box::new(
                 OnlineSharded::new(shards)
                     .with_epsilon(eps)
+                    .with_chaos(shard_faults.to_chaos())
                     .with_slot_deadline_ms(slot_deadline_ms),
             ),
         }
@@ -171,6 +184,11 @@ pub struct Scenario {
     /// algorithms (`None` = unlimited; absent in legacy scenario JSON).
     #[serde(default)]
     pub slot_deadline_ms: Option<f64>,
+    /// Shard-worker faults injected into the sharded algorithm's
+    /// coordination loop (inert by default; absent in legacy scenario
+    /// JSON); see [`crate::faults::ShardFaultPlan`].
+    #[serde(default)]
+    pub shard_faults: ShardFaultPlan,
 }
 
 impl Default for Scenario {
@@ -200,6 +218,7 @@ impl Default for Scenario {
             utilization: 0.8,
             faults: FaultPlan::none(),
             slot_deadline_ms: None,
+            shard_faults: ShardFaultPlan::none(),
         }
     }
 }
@@ -259,6 +278,40 @@ mod tests {
         );
         let back: Scenario = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.slot_deadline_ms, None);
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_shard_faults_parses() {
+        let json = serde_json::to_string(&Scenario::default()).unwrap();
+        let legacy = json.replace(",\"shard_faults\":{\"seed\":0,\"faults\":[]}", "");
+        assert_ne!(
+            legacy, json,
+            "expected the field to be present and removable"
+        );
+        let back: Scenario = serde_json::from_str(&legacy).unwrap();
+        assert!(back.shard_faults.is_empty());
+    }
+
+    #[test]
+    fn shard_faults_reach_the_sharded_algorithm_only() {
+        use crate::faults::ShardFaultKind;
+        let plan = ShardFaultPlan {
+            seed: 3,
+            faults: vec![ShardFaultKind::PanicWithProbability { prob: 0.5 }],
+        };
+        // Every roster entry still builds with a fault plan supplied; the
+        // non-sharded kinds ignore it.
+        for kind in [
+            AlgorithmKind::Approx { eps: 0.5 },
+            AlgorithmKind::Greedy,
+            AlgorithmKind::Sharded {
+                eps: 0.5,
+                shards: 4,
+            },
+        ] {
+            let alg = kind.build_full(None, &plan);
+            assert_eq!(alg.name(), kind.label());
+        }
     }
 
     #[test]
