@@ -172,7 +172,14 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(inst: &Instance, alg: &mut A) -> 
     let mut allocations = Vec::with_capacity(inst.num_slots());
     let mut health = Vec::with_capacity(inst.num_slots());
     for t in 0..inst.num_slots() {
-        let raw = SlotInput::from_instance(inst, t);
+        // Hostile scaling factors (flash crowds, rolling capacity loss —
+        // see `Instance::scale_demand`/`scale_capacity`) replace the slot
+        // view; unscaled instances take the borrow-only path unchanged.
+        let scaled = inst.scaled_slot(t);
+        let raw = match &scaled {
+            Some(s) => s.as_input(inst, t),
+            None => SlotInput::from_instance(inst, t),
+        };
         let sanitized = sanitize_slot(&raw);
         let input = match &sanitized {
             Some((clean, _)) => clean.as_input(&raw),

@@ -7,6 +7,8 @@ use crate::programs::p2::{self, CapacityMode, Epsilons, P2Solution, P2Workspace}
 use crate::programs::per_slot_lp::{
     add_dynamic_terms, base_lp, solve_to_allocation_resilient_with, StaticTerms,
 };
+use crate::sentinel;
+use crate::shed::{self, ShedConfig, SurvivorSlot};
 use crate::Result;
 use optim::budget::SolveBudget;
 use optim::convex::{BarrierOptions, SchurKernel};
@@ -51,6 +53,8 @@ pub struct OnlineRegularized {
     workspace_reuse: bool,
     adaptive_t0: bool,
     slot_deadline_ms: Option<f64>,
+    shedding: bool,
+    shed: ShedConfig,
     workspace: Option<P2Workspace>,
     last_solution: Option<Vec<f64>>,
     /// Terminal barrier parameter `t` of the previous slot's accepted
@@ -77,6 +81,8 @@ impl OnlineRegularized {
             workspace_reuse: true,
             adaptive_t0: true,
             slot_deadline_ms: None,
+            shedding: true,
+            shed: ShedConfig::default(),
             workspace: None,
             last_solution: None,
             last_t_final: None,
@@ -189,6 +195,29 @@ impl OnlineRegularized {
         self.slot_deadline_ms
     }
 
+    /// Disables the overload sentinel and the shedding rung: overloaded
+    /// slots fall down the ordinary ladder into carry-forward with a
+    /// flagged deficit, as the pre-shedding implementation did
+    /// (ablation/debugging knob; feasible horizons are bit-identical
+    /// either way — the sentinel is a pure pre-solve read).
+    pub fn without_shedding(mut self) -> Self {
+        self.shedding = false;
+        self
+    }
+
+    /// Overrides the shedding configuration (headroom, overflow tier,
+    /// outright penalty). The headroom doubles as the sentinel's interior
+    /// margin for the `Tight` classification.
+    pub fn with_shed_config(mut self, shed: ShedConfig) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// The shedding configuration in use.
+    pub fn shed_config(&self) -> ShedConfig {
+        self.shed
+    }
+
     /// Overrides the retry policy that escalates relaxations when the
     /// barrier fails ([`RetryPolicy::none`] disables re-solves; the per-slot
     /// LP and carry-forward rungs remain unless [`Self::without_fallback`]).
@@ -298,8 +327,14 @@ impl OnlineRegularized {
             )
         };
         let proportional = p2::proportional_start(input);
+        // The length guard drops a stale warm start whose shape no longer
+        // matches (the shedding rung shrinks and re-grows the user set
+        // between slots); on healthy horizons it never fires.
+        let expected_len = input.num_clouds() * input.num_users();
         let warm = if self.warm_start {
-            self.last_solution.as_deref()
+            self.last_solution
+                .as_deref()
+                .filter(|w| w.len() == expected_len)
         } else {
             None
         };
@@ -441,117 +476,10 @@ impl OnlineAlgorithm for OnlineRegularized {
             Some(ms) => SolveBudget::from_millis(ms),
             None => SolveBudget::unlimited(),
         };
-        let mut salvage: Option<Box<Salvage>> = None;
-        let mut force_repair = false;
-        let mut allocation =
-            match self.solve_p2_ladder(input, prev, &mut health, &budget, &mut salvage) {
-                Ok(sol) => {
-                    self.last_solution = Some(sol.allocation.as_flat().to_vec());
-                    self.last_duals = Some((sol.theta, sol.rho));
-                    sol.allocation
-                }
-                Err(err) if self.fallback => {
-                    let mut adopted: Option<Allocation> = None;
-                    if !budget.exhausted(0) {
-                        // Rung 3: the entropy-free per-slot LP — the
-                        // linearized slot objective, no regularizers, exact
-                        // dynamic costs — under whatever slot time remains
-                        // (it is the last solver rung, so no further split).
-                        health.rung = FallbackRung::PerSlotLp;
-                        let mut lp = base_lp(
-                            input,
-                            StaticTerms {
-                                operation: true,
-                                quality: true,
-                            },
-                        );
-                        add_dynamic_terms(&mut lp, input, prev);
-                        let lp_opts = IpmOptions {
-                            budget,
-                            ..IpmOptions::default()
-                        };
-                        let rung_clock = Instant::now();
-                        let (result, report) =
-                            solve_to_allocation_resilient_with(&lp, input, &lp_opts, &self.policy);
-                        health.attempts += report.attempts;
-                        health
-                            .rung_ms
-                            .push(rung_clock.elapsed().as_secs_f64() * 1e3);
-                        match result {
-                            Ok(x) => {
-                                health.final_residual = if report.final_residual.is_finite() {
-                                    Some(report.final_residual)
-                                } else {
-                                    None
-                                };
-                                // The LP rung carries no ℙ₂ duals; clear the
-                                // stale ones rather than expose the wrong
-                                // slot's.
-                                self.last_solution = Some(x.as_flat().to_vec());
-                                self.last_duals = None;
-                                adopted = Some(x);
-                            }
-                            Err(lp_err) => {
-                                if matches!(
-                                    lp_err,
-                                    crate::Error::Solver(optim::Error::DeadlineExceeded { .. })
-                                ) {
-                                    health.deadline_hit = true;
-                                }
-                                health.note_error(&lp_err);
-                            }
-                        }
-                    } else {
-                        health.deadline_hit = true;
-                    }
-                    match adopted {
-                        Some(x) => x,
-                        // Rung 4: the deadline salvage — the best strictly
-                        // feasible interior iterate any budgeted barrier
-                        // solve reached. It covers demand by construction;
-                        // the (forced) capacity repair below handles any
-                        // excess, making it a valid degraded decision.
-                        None => match salvage.take() {
-                            Some(s) => {
-                                health.rung = FallbackRung::DeadlineSalvage;
-                                health.deadline_hit = true;
-                                health.final_residual = if s.residual.is_finite() {
-                                    Some(s.residual)
-                                } else {
-                                    None
-                                };
-                                force_repair = true;
-                                self.last_solution = Some(s.x.clone());
-                                self.last_duals = None;
-                                Allocation::from_flat(input.num_clouds(), input.num_users(), s.x)
-                            }
-                            None => {
-                                health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
-                                self.last_health = Some(health);
-                                return Err(err);
-                            }
-                        },
-                    }
-                }
-                Err(err) => {
-                    health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
-                    self.last_health = Some(health);
-                    return Err(err);
-                }
-            };
-        if self.repair || force_repair {
-            // Best-effort: a structurally infeasible slot (demand above
-            // total capacity) leaves a deficit, which is flagged rather
-            // than failing the slot — the allocation still respects
-            // capacities and serves as much demand as possible.
-            if let Err(repair_err) = repair_capacity(input, &mut allocation) {
-                health.note_error(&repair_err);
-            }
-            health.repaired = true;
-        }
+        let result = self.decide_sentineled(input, prev, &mut health, &budget);
         health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
         self.last_health = Some(health);
-        Ok(allocation)
+        result
     }
 
     fn take_health(&mut self) -> Option<SlotHealth> {
@@ -564,6 +492,198 @@ impl OnlineAlgorithm for OnlineRegularized {
         self.last_t_final = None;
         self.last_duals = None;
         self.last_health = None;
+    }
+}
+
+impl OnlineRegularized {
+    /// The sentinel layer around the ladder: classify the slot in O(I+J);
+    /// overloaded slots get the shedding rung (minimum-penalty deferral +
+    /// reduced re-solve with restricted warm starts), everything else runs
+    /// the ordinary ladder untouched — the sentinel is a pure read, so
+    /// feasible horizons stay bit-identical to the pre-sentinel pipeline.
+    fn decide_sentineled(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+        budget: &SolveBudget,
+    ) -> Result<Allocation> {
+        let report = sentinel::assess(input, self.shed.headroom);
+        health.sentinel_verdict = Some(report.verdict);
+        if !(self.shedding && report.overloaded()) {
+            return self.decide_core(input, prev, health, budget);
+        }
+        let decision = match shed::plan_shedding(input, &self.shed, budget) {
+            Ok(d) => d,
+            Err(err) => {
+                // No shedding plan: run the full slot anyway — the ladder's
+                // repair serves as much demand as capacity allows and flags
+                // the deficit, exactly the pre-shedding behavior.
+                health.note_error(&err);
+                return self.decide_core(input, prev, health, budget);
+            }
+        };
+        health.rung = FallbackRung::Shedding;
+        health.shed_users = decision.deferred.len();
+        health.overflowed_users = if decision.overflowed {
+            decision.deferred.len()
+        } else {
+            0
+        };
+        health.shed_penalty = decision.penalty;
+        if decision.survivors.is_empty() {
+            // Everything overflows (e.g. all capacity is gone): the edge
+            // decision is the zero allocation and there is nothing to solve.
+            self.last_solution = None;
+            self.last_duals = None;
+            self.last_t_final = None;
+            return Ok(Allocation::zeros(input.num_clouds(), input.num_users()));
+        }
+        let slot = SurvivorSlot::new(input, &decision);
+        let rinput = slot.as_input(input);
+        let rprev = slot.restrict(prev);
+        // Restrict the stored warm start into survivor space so the
+        // reduced ℙ₂ still warm-starts; a shape mismatch drops it.
+        let full_len = input.num_clouds() * input.num_users();
+        self.last_solution = match self.last_solution.take() {
+            Some(w) if w.len() == full_len => Some(slot.restrict_flat(&w, input.num_clouds())),
+            _ => None,
+        };
+        let shed_rung = health.rung;
+        let mut reduced = self.decide_core(&rinput, &rprev, health, budget)?;
+        // The core reports the rung that solved the reduced program; the
+        // slot's identity stays Shedding (the errors/attempt counters the
+        // core recorded are kept).
+        health.rung = shed_rung;
+        // Certify *exact* feasibility on the survivors: capacity and the
+        // survivor demands hold under floating-point evaluation as written.
+        if let Err(err) = crate::exact::project_exact(&rinput, &mut reduced) {
+            health.note_error(&err);
+        }
+        // Scatter the reduced warm start back to full shape so a recovered
+        // (un-shed) successor slot can still use it; deferred columns warm
+        // at zero. Reduced-space duals are not the full slot's — drop them.
+        if let Some(w) = self.last_solution.take() {
+            if w.len() == input.num_clouds() * slot.len() {
+                self.last_solution =
+                    Some(slot.scatter_flat(&w, input.num_clouds(), input.num_users()));
+            }
+        }
+        self.last_duals = None;
+        Ok(slot.scatter(&reduced, input.num_users()))
+    }
+
+    /// Rungs 1–4 of the ladder on the given (possibly survivor-reduced)
+    /// slot: barrier + relaxations, per-slot LP, deadline salvage, plus the
+    /// capacity repair. Extracted from `decide` so the shedding rung can
+    /// run it on the reduced slot.
+    fn decide_core(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+        budget: &SolveBudget,
+    ) -> Result<Allocation> {
+        let mut salvage: Option<Box<Salvage>> = None;
+        let mut force_repair = false;
+        let mut allocation = match self.solve_p2_ladder(input, prev, health, budget, &mut salvage) {
+            Ok(sol) => {
+                self.last_solution = Some(sol.allocation.as_flat().to_vec());
+                self.last_duals = Some((sol.theta, sol.rho));
+                sol.allocation
+            }
+            Err(err) if self.fallback => {
+                let mut adopted: Option<Allocation> = None;
+                if !budget.exhausted(0) {
+                    // Rung 3: the entropy-free per-slot LP — the
+                    // linearized slot objective, no regularizers, exact
+                    // dynamic costs — under whatever slot time remains
+                    // (it is the last solver rung, so no further split).
+                    health.rung = FallbackRung::PerSlotLp;
+                    let mut lp = base_lp(
+                        input,
+                        StaticTerms {
+                            operation: true,
+                            quality: true,
+                        },
+                    );
+                    add_dynamic_terms(&mut lp, input, prev);
+                    let lp_opts = IpmOptions {
+                        budget: *budget,
+                        ..IpmOptions::default()
+                    };
+                    let rung_clock = Instant::now();
+                    let (result, report) =
+                        solve_to_allocation_resilient_with(&lp, input, &lp_opts, &self.policy);
+                    health.attempts += report.attempts;
+                    health
+                        .rung_ms
+                        .push(rung_clock.elapsed().as_secs_f64() * 1e3);
+                    match result {
+                        Ok(x) => {
+                            health.final_residual = if report.final_residual.is_finite() {
+                                Some(report.final_residual)
+                            } else {
+                                None
+                            };
+                            // The LP rung carries no ℙ₂ duals; clear the
+                            // stale ones rather than expose the wrong
+                            // slot's.
+                            self.last_solution = Some(x.as_flat().to_vec());
+                            self.last_duals = None;
+                            adopted = Some(x);
+                        }
+                        Err(lp_err) => {
+                            if matches!(
+                                lp_err,
+                                crate::Error::Solver(optim::Error::DeadlineExceeded { .. })
+                            ) {
+                                health.deadline_hit = true;
+                            }
+                            health.note_error(&lp_err);
+                        }
+                    }
+                } else {
+                    health.deadline_hit = true;
+                }
+                match adopted {
+                    Some(x) => x,
+                    // Rung 4: the deadline salvage — the best strictly
+                    // feasible interior iterate any budgeted barrier
+                    // solve reached. It covers demand by construction;
+                    // the (forced) capacity repair below handles any
+                    // excess, making it a valid degraded decision.
+                    None => match salvage.take() {
+                        Some(s) => {
+                            health.rung = FallbackRung::DeadlineSalvage;
+                            health.deadline_hit = true;
+                            health.final_residual = if s.residual.is_finite() {
+                                Some(s.residual)
+                            } else {
+                                None
+                            };
+                            force_repair = true;
+                            self.last_solution = Some(s.x.clone());
+                            self.last_duals = None;
+                            Allocation::from_flat(input.num_clouds(), input.num_users(), s.x)
+                        }
+                        None => return Err(err),
+                    },
+                }
+            }
+            Err(err) => return Err(err),
+        };
+        if self.repair || force_repair {
+            // Best-effort: a structurally infeasible slot (demand above
+            // total capacity) leaves a deficit, which is flagged rather
+            // than failing the slot — the allocation still respects
+            // capacities and serves as much demand as possible.
+            if let Err(repair_err) = repair_capacity(input, &mut allocation) {
+                health.note_error(&repair_err);
+            }
+            health.repaired = true;
+        }
+        Ok(allocation)
     }
 }
 
@@ -891,6 +1011,103 @@ mod tests {
             assert!(!h.deadline_hit);
             assert_eq!(h.deadline_ms, Some(10_000.0));
             assert!(!h.rung_ms.is_empty(), "per-rung timing not recorded");
+        }
+    }
+
+    #[test]
+    fn feasible_horizon_records_sentinel_verdicts_and_is_bit_identical_without_shedding() {
+        // The sentinel is a pure pre-solve read: on a feasible horizon the
+        // shedding-enabled build must produce exactly the allocations of
+        // the shedding-disabled one, while recording a verdict per slot.
+        let inst = Instance::fig1_example(2.1, true);
+        let mut on = OnlineRegularized::with_defaults();
+        let mut off = OnlineRegularized::with_defaults().without_shedding();
+        let a = run_online(&inst, &mut on).unwrap();
+        let b = run_online(&inst, &mut off).unwrap();
+        for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+            assert_eq!(xa.as_flat(), xb.as_flat(), "slot {t} diverged");
+        }
+        for h in &a.health {
+            assert_eq!(
+                h.sentinel_verdict,
+                Some(crate::sentinel::SentinelVerdict::Feasible)
+            );
+            assert_eq!(h.rung, FallbackRung::Primary);
+            assert_eq!(h.shed_users, 0);
+        }
+        let s = a.health_summary();
+        assert_eq!(s.overloaded_slots, 0);
+        assert_eq!(s.shed_users, 0);
+    }
+
+    #[test]
+    fn overloaded_slot_routes_through_the_shedding_rung() {
+        use rand::SeedableRng;
+        let net = mobility::rome_metro();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mob = mobility::random_walk::generate(&net, 12, 6, &mut rng);
+        let mut inst = Instance::synthetic(&net, mob, &mut rng);
+        // Slots 2..4 surge to 2× aggregate capacity (utilization 0.8 →
+        // capacity = 1.25·Σλ, so a 2.5× surge lands at 2× capacity).
+        inst.scale_demand(2, 2.5);
+        inst.scale_demand(3, 2.5);
+        let mut alg = OnlineRegularized::with_defaults();
+        let traj = run_online(&inst, &mut alg).unwrap();
+        assert_eq!(traj.allocations.len(), 6);
+        for (t, h) in traj.health.iter().enumerate() {
+            let surged = t == 2 || t == 3;
+            if surged {
+                assert_eq!(
+                    h.sentinel_verdict,
+                    Some(crate::sentinel::SentinelVerdict::Overloaded),
+                    "slot {t}"
+                );
+                assert_eq!(h.rung, FallbackRung::Shedding, "slot {t}");
+                assert!(h.shed_users > 0, "slot {t} shed nobody");
+                assert_eq!(h.overflowed_users, h.shed_users, "slot {t}");
+                assert!(h.shed_penalty > 0.0, "slot {t}");
+            } else {
+                assert_ne!(h.rung, FallbackRung::CarryForward, "slot {t} aborted");
+                assert_eq!(h.shed_users, 0, "slot {t} shed on a feasible slot");
+            }
+            // Shed slots certify *exact* capacity feasibility via
+            // project_exact; ordinary slots keep the repair's tolerance.
+            let x = &traj.allocations[t];
+            for i in 0..inst.num_clouds() {
+                if surged {
+                    assert!(
+                        x.cloud_total(i) <= inst.system().capacity(i),
+                        "slot {t} cloud {i} over capacity"
+                    );
+                }
+            }
+            assert!(
+                x.capacity_excess(inst.system().capacities()) < 1e-5,
+                "slot {t}"
+            );
+        }
+        let s = traj.health_summary();
+        assert_eq!(s.overloaded_slots, 2);
+        assert_eq!(s.rungs.shedding, 2);
+        assert!(s.shed_users > 0);
+        assert!(s.shed_penalty > 0.0);
+    }
+
+    #[test]
+    fn shedding_replays_bit_identically() {
+        use rand::SeedableRng;
+        let net = mobility::rome_metro();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mob = mobility::random_walk::generate(&net, 10, 5, &mut rng);
+        let mut inst = Instance::synthetic(&net, mob, &mut rng);
+        inst.scale_demand(1, 3.0);
+        inst.scale_demand(2, 3.0);
+        let mut a1 = OnlineRegularized::with_defaults();
+        let mut a2 = OnlineRegularized::with_defaults();
+        let t1 = run_online(&inst, &mut a1).unwrap();
+        let t2 = run_online(&inst, &mut a2).unwrap();
+        for (t, (xa, xb)) in t1.allocations.iter().zip(&t2.allocations).enumerate() {
+            assert_eq!(xa.as_flat(), xb.as_flat(), "slot {t} not reproducible");
         }
     }
 

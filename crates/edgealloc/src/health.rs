@@ -18,11 +18,18 @@
 //!    carried forward and repaired with
 //!    [`crate::algorithms::repair_capacity`].
 //!
+//! One rung sits *beside* the ladder rather than below it:
+//! [`FallbackRung::Shedding`] marks slots the pre-solve sentinel
+//! (see [`crate::sentinel`]) classified as overloaded, where a
+//! minimum-penalty user subset was deferred to the overflow tier
+//! (see [`crate::shed`]) and ℙ₂ was re-solved on the survivors.
+//!
 //! Every slot records which rung produced its allocation in a
 //! [`SlotHealth`], collected on the
 //! [`crate::algorithms::Trajectory`]. [`HealthSummary`] condenses a
 //! trajectory for scenario-level reporting.
 
+use crate::sentinel::SentinelVerdict;
 use serde::{Deserialize, Serialize};
 
 /// Which rung of the degradation ladder produced a slot's allocation.
@@ -40,6 +47,10 @@ pub enum FallbackRung {
     DeadlineSalvage,
     /// The previous allocation was carried forward and repaired.
     CarryForward,
+    /// The sentinel found the slot overloaded; a minimum-penalty user set
+    /// was deferred to the overflow tier and ℙ₂ was re-solved on the
+    /// feasible survivors (see [`crate::shed`]).
+    Shedding,
 }
 
 /// What happened while deciding one slot, whatever the outcome.
@@ -143,6 +154,21 @@ pub struct SlotHealth {
     /// shard (stale carry-forward, or too few offers to merge at all).
     #[serde(default)]
     pub degraded_rounds: usize,
+    /// The pre-solve sentinel's feasibility verdict for the slot (`None`
+    /// for algorithms that don't run the sentinel and for legacy records).
+    #[serde(default)]
+    pub sentinel_verdict: Option<SentinelVerdict>,
+    /// Users deferred off the edge for this slot by the shedding rung
+    /// (0 = nobody shed).
+    #[serde(default)]
+    pub shed_users: usize,
+    /// Of the shed users, how many were routed to the overflow cloud tier
+    /// (the rest were shed outright).
+    #[serde(default)]
+    pub overflowed_users: usize,
+    /// Total deferral penalty charged by the shedding rung for this slot.
+    #[serde(default)]
+    pub shed_penalty: f64,
     /// Errors swallowed along the way (the failures that pushed the
     /// decision down the ladder), newest last.
     pub errors: Vec<String>,
@@ -175,6 +201,10 @@ impl SlotHealth {
             quarantined_offers: 0,
             breaker_trips: 0,
             degraded_rounds: 0,
+            sentinel_verdict: None,
+            shed_users: 0,
+            overflowed_users: 0,
+            shed_penalty: 0.0,
             errors: Vec::new(),
         }
     }
@@ -218,6 +248,10 @@ impl SlotHealth {
             quarantined_offers: 0,
             breaker_trips: 0,
             degraded_rounds: 0,
+            sentinel_verdict: None,
+            shed_users: 0,
+            overflowed_users: 0,
+            shed_penalty: 0.0,
             errors: report.error.iter().cloned().collect(),
         }
     }
@@ -250,6 +284,9 @@ pub struct RungCounts {
     pub deadline_salvage: usize,
     /// Slots decided on [`FallbackRung::CarryForward`].
     pub carry_forward: usize,
+    /// Slots decided on [`FallbackRung::Shedding`].
+    #[serde(default)]
+    pub shedding: usize,
 }
 
 impl RungCounts {
@@ -261,6 +298,7 @@ impl RungCounts {
             FallbackRung::PerSlotLp => self.per_slot_lp += 1,
             FallbackRung::DeadlineSalvage => self.deadline_salvage += 1,
             FallbackRung::CarryForward => self.carry_forward += 1,
+            FallbackRung::Shedding => self.shedding += 1,
         }
     }
 
@@ -271,6 +309,7 @@ impl RungCounts {
         self.per_slot_lp += other.per_slot_lp;
         self.deadline_salvage += other.deadline_salvage;
         self.carry_forward += other.carry_forward;
+        self.shedding += other.shedding;
     }
 
     /// Total slots counted.
@@ -280,6 +319,7 @@ impl RungCounts {
             + self.per_slot_lp
             + self.deadline_salvage
             + self.carry_forward
+            + self.shedding
     }
 }
 
@@ -342,6 +382,23 @@ pub struct HealthSummary {
     /// fresh shard offers.
     #[serde(default)]
     pub degraded_rounds: usize,
+    /// Slots the sentinel classified as overloaded (demand above aggregate
+    /// capacity).
+    #[serde(default)]
+    pub overloaded_slots: usize,
+    /// Slots the sentinel classified as tight (feasible, but with an
+    /// interior thinner than the configured margin).
+    #[serde(default)]
+    pub tight_slots: usize,
+    /// Total user-slots deferred by the shedding rung.
+    #[serde(default)]
+    pub shed_users: usize,
+    /// Of those, total user-slots routed to the overflow tier.
+    #[serde(default)]
+    pub overflowed_users: usize,
+    /// Total deferral penalty across all shedding slots.
+    #[serde(default)]
+    pub shed_penalty: f64,
 }
 
 impl HealthSummary {
@@ -379,6 +436,16 @@ impl HealthSummary {
             summary.quarantined_offers += h.quarantined_offers;
             summary.breaker_trips += h.breaker_trips;
             summary.degraded_rounds += h.degraded_rounds;
+            match h.sentinel_verdict {
+                Some(SentinelVerdict::Overloaded) => summary.overloaded_slots += 1,
+                Some(SentinelVerdict::Tight) => summary.tight_slots += 1,
+                _ => {}
+            }
+            summary.shed_users += h.shed_users;
+            summary.overflowed_users += h.overflowed_users;
+            if h.shed_penalty.is_finite() {
+                summary.shed_penalty += h.shed_penalty;
+            }
             if let Some(v) = h.max_capacity_violation {
                 if v.is_finite() {
                     summary.peak_capacity_violation = summary.peak_capacity_violation.max(v);
@@ -409,6 +476,11 @@ impl HealthSummary {
         self.quarantined_offers += other.quarantined_offers;
         self.breaker_trips += other.breaker_trips;
         self.degraded_rounds += other.degraded_rounds;
+        self.overloaded_slots += other.overloaded_slots;
+        self.tight_slots += other.tight_slots;
+        self.shed_users += other.shed_users;
+        self.overflowed_users += other.overflowed_users;
+        self.shed_penalty += other.shed_penalty;
     }
 
     /// Fraction of slots that degraded (0 when no slots were recorded).
@@ -671,6 +743,74 @@ mod tests {
         assert_eq!(s.deadline_hits, 2);
         assert_eq!(s.rungs.deadline_salvage, 2);
         assert_eq!(s.rungs.total(), 3);
+    }
+
+    #[test]
+    fn pre_shedding_health_record_round_trips() {
+        // A record exactly as the fault-tolerance-era checkpoints wrote it:
+        // shard fault fields present, sentinel/shed fields absent. Resuming
+        // those JSONL checkpoints must keep working, and re-serializing
+        // must fill the shed fields with their zero defaults.
+        let legacy = r#"{"rung":"Primary","attempts":1,"final_residual":2e-6,
+            "wall_time_ms":12.5,"deadline_ms":50.0,"deadline_hit":false,
+            "rung_ms":[12.5],"repaired":false,"sanitized":false,
+            "newton_steps":40,"outer_iterations":9,"schur_kernel":"blocked",
+            "newton_step_ms":0.3,"shards":4,"coord_rounds":3,
+            "max_capacity_violation":0.01,"duality_gap":1.5e-5,
+            "polished":false,"stale_offers":1,"shard_retries":2,
+            "quarantined_offers":0,"breaker_trips":0,"degraded_rounds":1,
+            "errors":[]}"#;
+        let h: SlotHealth = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.sentinel_verdict, None);
+        assert_eq!(h.shed_users, 0);
+        assert_eq!(h.overflowed_users, 0);
+        assert_eq!(h.shed_penalty, 0.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: SlotHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sentinel_verdict, None);
+        assert_eq!(back.shed_users, 0);
+        assert_eq!(back.shards, 4);
+
+        let legacy_summary = r#"{"slots":4,"degraded_slots":0,"sanitized_slots":0,
+            "rungs":{"primary":4,"relaxed_tolerance":0,"per_slot_lp":0,"carry_forward":0},
+            "sharded_slots":4,"coord_rounds":12,"shard_retries":2}"#;
+        let s: HealthSummary = serde_json::from_str(legacy_summary).unwrap();
+        assert_eq!(s.overloaded_slots, 0);
+        assert_eq!(s.tight_slots, 0);
+        assert_eq!(s.shed_users, 0);
+        assert_eq!(s.overflowed_users, 0);
+        assert_eq!(s.shed_penalty, 0.0);
+        assert_eq!(s.rungs.shedding, 0);
+        assert_eq!(s.rungs.total(), 4);
+    }
+
+    #[test]
+    fn summary_aggregates_shedding_telemetry() {
+        let mut a = SlotHealth::primary();
+        a.rung = FallbackRung::Shedding;
+        a.sentinel_verdict = Some(SentinelVerdict::Overloaded);
+        a.shed_users = 3;
+        a.overflowed_users = 3;
+        a.shed_penalty = 7.5;
+        let mut b = SlotHealth::primary();
+        b.sentinel_verdict = Some(SentinelVerdict::Tight);
+        let mut c = SlotHealth::primary();
+        c.sentinel_verdict = Some(SentinelVerdict::Feasible);
+        let mut s = HealthSummary::from_slots(&[a.clone(), b, c]);
+        assert_eq!(s.overloaded_slots, 1);
+        assert_eq!(s.tight_slots, 1);
+        assert_eq!(s.shed_users, 3);
+        assert_eq!(s.overflowed_users, 3);
+        assert!((s.shed_penalty - 7.5).abs() < 1e-12);
+        assert_eq!(s.rungs.shedding, 1);
+        assert_eq!(s.rungs.total(), 3);
+        assert!(a.degraded(), "a shed slot is a degradation");
+        let other = HealthSummary::from_slots(&[a]);
+        s.merge(&other);
+        assert_eq!(s.overloaded_slots, 2);
+        assert_eq!(s.shed_users, 6);
+        assert!((s.shed_penalty - 15.0).abs() < 1e-12);
+        assert_eq!(s.rungs.shedding, 2);
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub struct Instance {
     /// `b_i^{in}`.
     migration_in: Vec<f64>,
     weights: CostWeights,
+    /// Per-slot multiplicative demand scaling `demand_factors[t]` applied
+    /// to every `λ_j` on the *online* path (hostile generators use this to
+    /// create overload mid-horizon without tripping [`Instance::new`]'s
+    /// aggregate-feasibility validation). `None` = no scaling anywhere.
+    #[serde(default)]
+    demand_factors: Option<Vec<f64>>,
+    /// Per-slot, per-cloud multiplicative capacity scaling
+    /// `capacity_factors[t][i]` (rolling degradation). `None` = no scaling.
+    #[serde(default)]
+    capacity_factors: Option<Vec<Vec<f64>>>,
 }
 
 impl Instance {
@@ -153,6 +163,8 @@ impl Instance {
             migration_out,
             migration_in,
             weights,
+            demand_factors: None,
+            capacity_factors: None,
         })
     }
 
@@ -446,6 +458,90 @@ impl Instance {
         &mut self.system
     }
 
+    /// Multiplies the demand scaling factor of slot `t` by `factor`
+    /// (clamped via [`crate::sanitize::clamp_factor`]; out-of-range `t` is
+    /// ignored). The factor applies to every user's `λ_j` on the online
+    /// path — see [`Instance::scaled_slot`] — and deliberately bypasses
+    /// [`Instance::new`]'s aggregate-feasibility validation: overload is
+    /// exactly what hostile generators are for. The offline/cost view keeps
+    /// the base workloads.
+    pub fn scale_demand(&mut self, t: usize, factor: f64) {
+        if t >= self.num_slots() {
+            return;
+        }
+        let factors = self
+            .demand_factors
+            .get_or_insert_with(|| vec![1.0; self.mobility.num_slots()]);
+        factors[t] *= crate::sanitize::clamp_factor(factor);
+    }
+
+    /// Multiplies cloud `i`'s capacity scaling factor at slot `t` by
+    /// `factor` (clamped; out-of-range indices ignored). Same online-path
+    /// semantics as [`Instance::scale_demand`].
+    pub fn scale_capacity(&mut self, t: usize, i: usize, factor: f64) {
+        if t >= self.num_slots() || i >= self.num_clouds() {
+            return;
+        }
+        let num_clouds = self.system.num_clouds();
+        let factors = self
+            .capacity_factors
+            .get_or_insert_with(|| vec![vec![1.0; num_clouds]; self.mobility.num_slots()]);
+        factors[t][i] *= crate::sanitize::clamp_factor(factor);
+    }
+
+    /// The demand scaling factor of slot `t` (1 when unscaled).
+    pub fn demand_factor(&self, t: usize) -> f64 {
+        self.demand_factors
+            .as_ref()
+            .and_then(|f| f.get(t))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// The capacity scaling factor of cloud `i` at slot `t` (1 when
+    /// unscaled).
+    pub fn capacity_factor(&self, t: usize, i: usize) -> f64 {
+        self.capacity_factors
+            .as_ref()
+            .and_then(|f| f.get(t))
+            .and_then(|row| row.get(i))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// The scaled view of slot `t`, or `None` when every factor at `t` is
+    /// exactly 1 — the common case, which keeps the unscaled online path
+    /// allocation-free and bit-identical to the pre-scaling pipeline.
+    /// Scaled workloads are hardened (finite, `λ_j ≥ 1`) so a hostile surge
+    /// cannot smuggle ill-formed demand past the sentinel.
+    pub fn scaled_slot(&self, t: usize) -> Option<ScaledSlot> {
+        let df = self.demand_factor(t);
+        let any_cap = (0..self.num_clouds()).any(|i| self.capacity_factor(t, i) != 1.0);
+        if df == 1.0 && !any_cap {
+            return None;
+        }
+        let mut workloads: Vec<f64> = self.workloads.iter().map(|&l| l * df).collect();
+        crate::sanitize::harden_workloads(&mut workloads);
+        let mut system = self.system.clone();
+        if any_cap {
+            for i in 0..self.num_clouds() {
+                let cf = self.capacity_factor(t, i);
+                if cf != 1.0 {
+                    let scaled = self.system.capacity(i) * cf;
+                    system.inject_capacity(
+                        i,
+                        if scaled.is_finite() {
+                            scaled.max(0.0)
+                        } else {
+                            0.0
+                        },
+                    );
+                }
+            }
+        }
+        Some(ScaledSlot { system, workloads })
+    }
+
     /// Returns a copy with all corrupted values repaired (see the rules in
     /// [`crate::sanitize`]) plus one note per repaired value; the notes are
     /// empty when the instance was already well-formed. Structural problems
@@ -466,7 +562,68 @@ impl Instance {
         crate::sanitize::fix_prices(&mut inst.migration_out, "migration_out", &mut notes);
         crate::sanitize::fix_prices(&mut inst.migration_in, "migration_in", &mut notes);
         crate::sanitize::fix_system(&mut inst.system, &mut notes);
+        if let Some(factors) = &mut inst.demand_factors {
+            for (t, f) in factors.iter_mut().enumerate() {
+                let clamped = crate::sanitize::clamp_factor(*f);
+                if clamped != *f {
+                    notes.push(format!("demand_factor[{t}] was {f}, set to {clamped}"));
+                    *f = clamped;
+                }
+            }
+        }
+        if let Some(factors) = &mut inst.capacity_factors {
+            for (t, row) in factors.iter_mut().enumerate() {
+                for (i, f) in row.iter_mut().enumerate() {
+                    let clamped = crate::sanitize::clamp_factor(*f);
+                    if clamped != *f {
+                        notes.push(format!(
+                            "capacity_factor[{t}][{i}] was {f}, set to {clamped}"
+                        ));
+                        *f = clamped;
+                    }
+                }
+            }
+        }
         (inst, notes)
+    }
+}
+
+/// The scaled online view of one slot under the instance's hostile demand
+/// and capacity factors: an owned system copy with scaled capacities plus
+/// the scaled (and hardened) workloads. Borrow it back into a
+/// [`crate::algorithms::SlotInput`] with [`ScaledSlot::as_input`] — the
+/// same pattern as [`crate::sanitize::SanitizedSlot`].
+#[derive(Debug, Clone)]
+pub struct ScaledSlot {
+    system: EdgeCloudSystem,
+    workloads: Vec<f64>,
+}
+
+impl ScaledSlot {
+    /// The slot-`t` view over the scaled data; prices and mobility come
+    /// from the instance unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= inst.num_slots()`.
+    pub fn as_input<'a>(
+        &'a self,
+        inst: &'a Instance,
+        t: usize,
+    ) -> crate::algorithms::SlotInput<'a> {
+        let num_users = inst.num_users();
+        crate::algorithms::SlotInput {
+            t,
+            system: &self.system,
+            workloads: &self.workloads,
+            operation_prices: inst.operation_prices_at(t),
+            attachment: (0..num_users).map(|j| inst.attached(j, t)).collect(),
+            access_delay: (0..num_users).map(|j| inst.access_delay(j, t)).collect(),
+            reconfig_prices: inst.reconfig_prices_slice(),
+            migration_out: inst.migration_out_slice(),
+            migration_in: inst.migration_in_slice(),
+            weights: inst.weights(),
+        }
     }
 }
 
@@ -637,6 +794,81 @@ mod tests {
         let b = Instance::fig1_example(1.9, false);
         assert_eq!(b.attached(0, 2), 1);
         assert_eq!(b.migration_total(0), 1.0);
+    }
+
+    #[test]
+    fn unscaled_instance_has_no_scaled_slots() {
+        let inst = Instance::fig1_example(2.1, true);
+        for t in 0..inst.num_slots() {
+            assert!(inst.scaled_slot(t).is_none());
+            assert_eq!(inst.demand_factor(t), 1.0);
+            assert_eq!(inst.capacity_factor(t, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn demand_scaling_surges_the_online_view_only() {
+        let mut inst = Instance::fig1_example(2.1, true);
+        inst.scale_demand(1, 2.5);
+        assert!(inst.scaled_slot(0).is_none(), "other slots stay unscaled");
+        let scaled = inst.scaled_slot(1).expect("slot 1 is scaled");
+        let view = scaled.as_input(&inst, 1);
+        assert_eq!(view.workloads, &[2.5]);
+        // The offline/base view keeps λ = 1.
+        assert_eq!(inst.workload(0), 1.0);
+        // Factors compose multiplicatively.
+        inst.scale_demand(1, 2.0);
+        assert_eq!(inst.demand_factor(1), 5.0);
+    }
+
+    #[test]
+    fn capacity_scaling_degrades_one_cloud() {
+        let mut inst = Instance::fig1_example(2.1, true);
+        inst.scale_capacity(2, 0, 0.25);
+        let scaled = inst.scaled_slot(2).expect("slot 2 is scaled");
+        let view = scaled.as_input(&inst, 2);
+        assert_eq!(view.system.capacity(0), 0.5);
+        assert_eq!(view.system.capacity(1), 2.0);
+        assert_eq!(inst.system().capacity(0), 2.0, "base system untouched");
+    }
+
+    #[test]
+    fn bad_factors_are_clamped_not_propagated() {
+        let mut inst = Instance::fig1_example(2.1, true);
+        inst.scale_demand(0, f64::NAN); // clamps to 1: no scaling
+        assert_eq!(inst.demand_factor(0), 1.0);
+        inst.scale_capacity(0, 0, -2.0); // clamps to 0: cloud down
+        assert_eq!(inst.capacity_factor(0, 0), 0.0);
+        let view_owner = inst.scaled_slot(0).unwrap();
+        let view = view_owner.as_input(&inst, 0);
+        assert_eq!(view.system.capacity(0), 0.0);
+        // A small positive wave scales through; hardening only guards
+        // against non-positive and non-finite results.
+        inst.scale_demand(1, 0.1);
+        let scaled = inst.scaled_slot(1).unwrap();
+        assert_eq!(scaled.as_input(&inst, 1).workloads, &[0.1]);
+        inst.scale_demand(2, 0.0);
+        let zeroed = inst.scaled_slot(2).unwrap();
+        assert_eq!(
+            zeroed.as_input(&inst, 2).workloads,
+            &[1.0],
+            "a zeroed workload is hardened back to the λ ≥ 1 floor"
+        );
+        // Out-of-range indices are ignored.
+        inst.scale_demand(99, 3.0);
+        inst.scale_capacity(0, 99, 3.0);
+    }
+
+    #[test]
+    fn legacy_instance_json_without_factor_fields_deserializes() {
+        let inst = Instance::fig1_example(2.1, true);
+        let json = serde_json::to_string(&inst).unwrap();
+        let stripped = json
+            .replace(r#","demand_factors":null"#, "")
+            .replace(r#","capacity_factors":null"#, "");
+        let back: Instance = serde_json::from_str(&stripped).unwrap();
+        assert!(back.scaled_slot(0).is_none());
+        assert_eq!(back.num_slots(), 3);
     }
 
     #[test]

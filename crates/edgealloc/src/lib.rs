@@ -47,12 +47,15 @@
 pub mod algorithms;
 pub mod allocation;
 pub mod cost;
+pub mod exact;
 pub mod health;
 pub mod instance;
 pub mod programs;
 pub mod ratio;
 pub mod rounding;
 pub mod sanitize;
+pub mod sentinel;
+pub mod shed;
 pub mod system;
 pub mod transform;
 
@@ -61,8 +64,11 @@ use std::fmt;
 pub use algorithms::{run_online, OnlineAlgorithm, SlotInput, Trajectory};
 pub use allocation::Allocation;
 pub use cost::{evaluate_trajectory, CostBreakdown, CostWeights};
+pub use exact::project_exact;
 pub use health::{FallbackRung, HealthSummary, RungCounts, SlotHealth};
 pub use instance::Instance;
+pub use sentinel::{SentinelReport, SentinelVerdict};
+pub use shed::{OverflowTier, ShedConfig, ShedDecision, SurvivorSlot};
 pub use system::EdgeCloudSystem;
 
 /// Convenient glob-import surface for examples and tests.
@@ -73,9 +79,12 @@ pub mod prelude {
     };
     pub use crate::allocation::Allocation;
     pub use crate::cost::{evaluate_trajectory, CostBreakdown, CostWeights};
+    pub use crate::exact::project_exact;
     pub use crate::health::{FallbackRung, HealthSummary, RungCounts, SlotHealth};
     pub use crate::instance::Instance;
     pub use crate::ratio::competitive_ratio;
+    pub use crate::sentinel::{SentinelReport, SentinelVerdict};
+    pub use crate::shed::{OverflowTier, ShedConfig, ShedDecision, SurvivorSlot};
     pub use crate::system::EdgeCloudSystem;
 }
 

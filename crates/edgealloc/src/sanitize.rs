@@ -58,6 +58,32 @@ pub(crate) fn fix_workloads(values: &mut [f64], notes: &mut Vec<String>) {
     }
 }
 
+/// Hardens a workload vector emitted by a generator (finite and positive,
+/// minimum 1 — the paper's `λ_j ∈ ℤ⁺` floor), returning a note per
+/// repaired entry. This is the public entry point hostile scenario
+/// generators run *before* their surged demand reaches the sentinel, so a
+/// NaN or negative surge factor cannot smuggle ill-formed demand into the
+/// feasibility classification.
+pub fn harden_workloads(values: &mut [f64]) -> Vec<String> {
+    let mut notes = Vec::new();
+    fix_workloads(values, &mut notes);
+    notes
+}
+
+/// Clamps a multiplicative demand/capacity scaling factor to a safe value:
+/// non-finite factors become 1 (no scaling), negative factors become 0
+/// (full loss). Generators use this so a corrupted surge spec degrades to
+/// a no-op instead of poisoning every downstream sum.
+pub fn clamp_factor(v: f64) -> f64 {
+    if !v.is_finite() {
+        1.0
+    } else if v < 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
 /// Fixes a system's capacities and delays in place through the unchecked
 /// injectors: sanitized capacities may legitimately be zero, which
 /// [`EdgeCloudSystem::new`] rejects.
@@ -227,6 +253,25 @@ mod tests {
         down.system_mut().inject_capacity(0, 0.0);
         let input = SlotInput::from_instance(&down, 0);
         assert!(sanitize_slot(&input).is_none());
+    }
+
+    #[test]
+    fn harden_workloads_repairs_generator_output() {
+        let mut w = vec![2.0, f64::NAN, -3.0, f64::INFINITY, 0.0, 5.5];
+        let notes = harden_workloads(&mut w);
+        assert_eq!(w, vec![2.0, 1.0, 1.0, 1.0, 1.0, 5.5]);
+        assert_eq!(notes.len(), 4);
+        let mut clean = vec![1.0, 2.0];
+        assert!(harden_workloads(&mut clean).is_empty());
+    }
+
+    #[test]
+    fn clamp_factor_neutralizes_bad_scaling() {
+        assert_eq!(clamp_factor(2.5), 2.5);
+        assert_eq!(clamp_factor(0.0), 0.0);
+        assert_eq!(clamp_factor(-1.0), 0.0);
+        assert_eq!(clamp_factor(f64::NAN), 1.0);
+        assert_eq!(clamp_factor(f64::INFINITY), 1.0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`taxi`] — synthetic taxi-like trips (hotspot-to-hotspot waypoint
 //!   motion with street-speed noise and pauses).
 //! * [`random_walk`] — the paper's §V-D metro-graph random walk.
+//! * [`hostile`] — overload-inducing mobility (flash crowds, commute
+//!   waves) for the robustness experiments.
 //! * [`attach`] — nearest-station attachment, producing the per-slot
 //!   `(l_{j,t}, d(j, l_{j,t}))` inputs the allocator consumes.
 //! * [`workload`] — power-law / uniform / normal user workloads.
@@ -27,6 +29,7 @@
 
 pub mod attach;
 pub mod geo;
+pub mod hostile;
 pub mod prices;
 pub mod rand_util;
 pub mod random_walk;

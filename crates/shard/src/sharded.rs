@@ -17,9 +17,10 @@
 
 use edgealloc::algorithms::{OnlineAlgorithm, OnlineRegularized, SlotInput};
 use edgealloc::allocation::Allocation;
-use edgealloc::health::SlotHealth;
+use edgealloc::health::{FallbackRung, SlotHealth};
 use edgealloc::programs::p2::Epsilons;
-use edgealloc::Result;
+use edgealloc::shed::{self, ShedConfig, SurvivorSlot};
+use edgealloc::{sentinel, Result};
 use optim::budget::SolveBudget;
 use optim::convex::{BarrierOptions, SchurKernel};
 use std::time::Instant;
@@ -50,6 +51,8 @@ pub struct OnlineSharded {
     coordinator: Option<Coordinator>,
     inner: OnlineRegularized,
     last_health: Option<SlotHealth>,
+    shedding: bool,
+    shed: ShedConfig,
 }
 
 impl OnlineSharded {
@@ -67,7 +70,29 @@ impl OnlineSharded {
             coordinator: None,
             inner,
             last_health: None,
+            shedding: true,
+            shed: ShedConfig::default(),
         }
+    }
+
+    /// Disables the overload sentinel's shedding rung: overloaded slots run
+    /// the coordination/fallback pipeline on the full user set, exactly the
+    /// pre-sentinel behavior.
+    pub fn without_shedding(mut self) -> Self {
+        self.shedding = false;
+        self
+    }
+
+    /// Sets the shedding configuration (headroom, overflow tier, outright
+    /// penalty), spelled like [`OnlineRegularized::with_shed_config`].
+    pub fn with_shed_config(mut self, shed: ShedConfig) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// The active shedding configuration.
+    pub fn shed_config(&self) -> &ShedConfig {
+        &self.shed
     }
 
     /// Sets `ε₁ = ε₂ = ε` (the Figure-4 sweep's knob, spelled like
@@ -202,18 +227,123 @@ impl OnlineSharded {
             health.outer_iterations = ih.outer_iterations;
             health.schur_kernel = ih.schur_kernel;
             health.newton_step_ms = ih.newton_step_ms;
+            health.shed_users += ih.shed_users;
+            health.overflowed_users += ih.overflowed_users;
+            health.shed_penalty += ih.shed_penalty;
+            if health.sentinel_verdict.is_none() {
+                health.sentinel_verdict = ih.sentinel_verdict;
+            }
             health.errors.extend(ih.errors);
         }
         result
     }
+
+    /// The sentinel layer around the sharded pipeline, mirroring
+    /// [`OnlineRegularized`]: classify the slot in O(I+J) and, when it is
+    /// overloaded, shed the minimum-penalty user set *before* sharding — so
+    /// the coordinator partitions only the survivors (its staleness check
+    /// rebuilds the plan for the reduced user count). Non-overloaded slots
+    /// run the ordinary pipeline untouched.
+    fn decide_sentineled(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+        budget: &SolveBudget,
+    ) -> Result<Allocation> {
+        let report = sentinel::assess(input, self.shed.headroom);
+        health.sentinel_verdict = Some(report.verdict);
+        if !(self.shedding && report.overloaded()) {
+            return self.decide_inner(input, prev, health, budget);
+        }
+        let decision = match shed::plan_shedding(input, &self.shed, budget) {
+            Ok(d) => d,
+            Err(err) => {
+                // No shedding plan: run the full slot anyway — the
+                // coordination/fallback pipeline serves what capacity
+                // allows, exactly the pre-shedding behavior.
+                health.note_error(&err);
+                return self.decide_inner(input, prev, health, budget);
+            }
+        };
+        health.rung = FallbackRung::Shedding;
+        health.shed_users = decision.deferred.len();
+        health.overflowed_users = if decision.overflowed {
+            decision.deferred.len()
+        } else {
+            0
+        };
+        health.shed_penalty = decision.penalty;
+        if decision.survivors.is_empty() {
+            // Everything overflows: the edge decision is the zero
+            // allocation, and stale solve state must not leak into the
+            // next (differently-shaped) slot.
+            self.coordinator = None;
+            self.inner.reset();
+            return Ok(Allocation::zeros(input.num_clouds(), input.num_users()));
+        }
+        let slot = SurvivorSlot::new(input, &decision);
+        let rinput = slot.as_input(input);
+        let rprev = slot.restrict(prev);
+        let shed_rung = health.rung;
+        let mut reduced = self.decide_inner(&rinput, &rprev, health, budget)?;
+        // The inner pipeline reports whichever rung solved the reduced
+        // program; the slot's identity stays Shedding.
+        health.rung = shed_rung;
+        // Certify *exact* feasibility on the survivors, matching the
+        // coordinator's own guarantee on full slots.
+        if let Err(err) = crate::merge::project_exact(&rinput, &mut reduced) {
+            health.note_error(&err);
+        }
+        Ok(slot.scatter(&reduced, input.num_users()))
+    }
+
+    /// The pre-sentinel decision pipeline: price-coordinated shard solves
+    /// with the monolithic ladder as fallback. Extracted from `decide` so
+    /// the shedding rung can run it on a survivor-reduced slot.
+    fn decide_inner(
+        &mut self,
+        input: &SlotInput<'_>,
+        prev: &Allocation,
+        health: &mut SlotHealth,
+        budget: &SolveBudget,
+    ) -> Result<Allocation> {
+        let s_eff = self.cfg.shards.min(input.num_users());
+        let shardable = s_eff >= 2 && input.weights.operation > 0.0;
+        let mut decision: Option<Allocation> = None;
+        if shardable {
+            let stale = self
+                .coordinator
+                .as_ref()
+                .is_none_or(|c| !c.matches(input, self.cfg.shards));
+            if stale {
+                self.coordinator = Some(Coordinator::new(self.cfg.clone(), input));
+            }
+            let coord = self.coordinator.as_mut().expect("coordinator was built");
+            match coord.solve_slot(input, prev, budget, health) {
+                Ok(x) => decision = Some(x),
+                Err(e) => health.note_error(format!("shard coordination failed: {e}")),
+            }
+        }
+        match decision {
+            Some(x) => Ok(x),
+            None => {
+                health.shards = 1;
+                self.decide_monolithic(input, prev, budget, health)
+            }
+        }
+    }
 }
 
 fn build_inner(cfg: &CoordinatorConfig) -> OnlineRegularized {
+    // The outer algorithm sheds once, pre-sharding; the inner monolithic
+    // fallback must not shed a second time on the (already reduced) slot.
     OnlineRegularized::new(cfg.eps)
         .with_explicit_capacity()
         .with_schur_kernel(cfg.kernel)
         .with_solver_threads(cfg.solver_threads)
         .with_solver_options(cfg.options.clone())
+        .without_shedding()
 }
 
 impl OnlineAlgorithm for OnlineSharded {
@@ -229,30 +359,7 @@ impl OnlineAlgorithm for OnlineSharded {
             Some(ms) => SolveBudget::from_millis(ms),
             None => SolveBudget::unlimited(),
         };
-        let s_eff = self.cfg.shards.min(input.num_users());
-        let shardable = s_eff >= 2 && input.weights.operation > 0.0;
-        let mut decision: Option<Allocation> = None;
-        if shardable {
-            let stale = self
-                .coordinator
-                .as_ref()
-                .is_none_or(|c| !c.matches(input, self.cfg.shards));
-            if stale {
-                self.coordinator = Some(Coordinator::new(self.cfg.clone(), input));
-            }
-            let coord = self.coordinator.as_mut().expect("coordinator was built");
-            match coord.solve_slot(input, prev, &budget, &mut health) {
-                Ok(x) => decision = Some(x),
-                Err(e) => health.note_error(format!("shard coordination failed: {e}")),
-            }
-        }
-        let outcome = match decision {
-            Some(x) => Ok(x),
-            None => {
-                health.shards = 1;
-                self.decide_monolithic(input, prev, &budget, &mut health)
-            }
-        };
+        let outcome = self.decide_sentineled(input, prev, &mut health, &budget);
         health.wall_time_ms = clock.elapsed().as_secs_f64() * 1e3;
         self.last_health = Some(health);
         outcome

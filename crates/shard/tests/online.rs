@@ -251,6 +251,70 @@ fn inert_chaos_config_leaves_the_trajectory_bit_identical() {
 }
 
 #[test]
+fn overloaded_slot_sheds_before_sharding_and_survivors_are_exact() {
+    use edgealloc::health::FallbackRung;
+    use edgealloc::sentinel::SentinelVerdict;
+
+    let mut inst = multi_user_instance(12, 4);
+    // 1.5× slack → a 2.5× surge puts aggregate demand ~1.67× capacity.
+    inst.scale_demand(2, 2.5);
+    let mut alg = OnlineSharded::new(3);
+    let traj = run_online(&inst, &mut alg).expect("overloaded horizon runs");
+    assert_eq!(traj.allocations.len(), inst.num_slots());
+    for (t, h) in traj.health.iter().enumerate() {
+        if t == 2 {
+            assert_eq!(h.sentinel_verdict, Some(SentinelVerdict::Overloaded));
+            assert_eq!(h.rung, FallbackRung::Shedding, "slot {t}: {h:?}");
+            assert!(h.shed_users > 0, "slot {t} shed nobody");
+            assert!(h.shed_penalty > 0.0);
+        } else {
+            assert_ne!(h.rung, FallbackRung::CarryForward, "slot {t} aborted");
+            assert_eq!(h.shed_users, 0, "slot {t} shed without overload");
+        }
+        // Every slot — shed or not — stays within capacity; the shed slot
+        // must be *exactly* capacity-feasible (projection on survivors).
+        let x = &traj.allocations[t];
+        for i in 0..inst.num_clouds() {
+            if t == 2 {
+                assert!(
+                    x.cloud_total(i) <= inst.system().capacity(i),
+                    "slot {t}: cloud {i} exceeds capacity exactly"
+                );
+            } else {
+                assert!(
+                    x.capacity_excess(inst.system().capacities()) < 1e-5,
+                    "slot {t}: cloud {i} over capacity"
+                );
+            }
+        }
+    }
+    let summary = traj.health_summary();
+    assert_eq!(summary.overloaded_slots, 1);
+    assert_eq!(summary.rungs.shedding, 1);
+    assert!(summary.shed_users > 0);
+}
+
+#[test]
+fn feasible_horizon_is_bit_identical_with_the_sentinel_wired_in() {
+    let inst = multi_user_instance(8, 3);
+    let mut on = OnlineSharded::new(2);
+    let a = run_online(&inst, &mut on).expect("sentinel-enabled run");
+    let mut off = OnlineSharded::new(2).without_shedding();
+    let b = run_online(&inst, &mut off).expect("shedding-disabled run");
+    for (t, (xa, xb)) in a.allocations.iter().zip(&b.allocations).enumerate() {
+        assert_eq!(
+            xa.as_flat(),
+            xb.as_flat(),
+            "slot {t}: sentinel changed a feasible decision"
+        );
+    }
+    for h in &a.health {
+        assert_eq!(h.shed_users, 0);
+        assert!(h.sentinel_verdict.is_some());
+    }
+}
+
+#[test]
 fn name_and_builders_round_trip() {
     let alg = OnlineSharded::new(4)
         .with_epsilon(0.25)

@@ -186,7 +186,10 @@ impl ShardFaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first malformed entry.
+    /// Returns a message describing the first malformed entry. Besides the
+    /// shape, values are validated: probabilities must be finite and in
+    /// `[0, 1]` (so `panic=7` is rejected, not silently clamped at roll
+    /// time), and delay lengths must be finite and non-negative.
     pub fn from_spec(spec: &str) -> std::result::Result<Self, String> {
         let mut plan = ShardFaultPlan::none();
         for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
@@ -195,8 +198,26 @@ impl ShardFaultPlan {
                 .ok_or_else(|| format!("shard-fault entry `{entry}` is not `key=value`"))?;
             let (key, value) = (key.trim(), value.trim());
             let prob = |v: &str| {
-                v.parse::<f64>()
-                    .map_err(|_| format!("shard-fault `{key}` has non-numeric value `{v}`"))
+                let p = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("shard-fault `{key}` has non-numeric value `{v}`"))?;
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(format!(
+                        "shard-fault `{key}` probability `{v}` must be in [0, 1]"
+                    ));
+                }
+                Ok(p)
+            };
+            let millis = |v: &str| {
+                let ms = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("shard-fault `{key}` has non-numeric millis `{v}`"))?;
+                if !ms.is_finite() || ms < 0.0 {
+                    return Err(format!(
+                        "shard-fault `{key}` millis `{v}` must be finite and non-negative"
+                    ));
+                }
+                Ok(ms)
             };
             match key {
                 "panic" => plan
@@ -208,7 +229,7 @@ impl ShardFaultPlan {
                     })?;
                     plan.faults.push(ShardFaultKind::InjectedDelay {
                         prob: prob(p)?,
-                        millis: prob(ms)?,
+                        millis: millis(ms)?,
                     });
                 }
                 "corrupt" => plan
@@ -382,10 +403,23 @@ mod tests {
             "delay=0.5:abc",
             "bogus=1",
             "seed=-1",
+            // Out-of-range or non-finite values are rejected with a
+            // descriptive message, not clamped at roll time.
+            "panic=7",
+            "panic=-0.1",
+            "panic=inf",
+            "panic=NaN",
+            "delay=1.5:10",
+            "delay=0.5:inf",
+            "delay=0.5:-3",
+            "corrupt=-0.1",
+            "corrupt=2",
         ] {
             let err = ShardFaultPlan::from_spec(bad).unwrap_err();
             assert!(!err.is_empty(), "spec `{bad}` produced an empty error");
         }
+        // Boundary probabilities are legal.
+        assert!(ShardFaultPlan::from_spec("panic=0,corrupt=1,delay=1:0").is_ok());
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Hostile workload generation for overload experiments.
+//!
+//! A [`HostilePlan`] is the overload-side sibling of
+//! [`crate::faults::FaultPlan`]: where a fault plan *corrupts* an instance
+//! (NaN prices, vanished capacity), a hostile plan keeps every value
+//! well-formed but *adversarially shaped* — flash crowds that concentrate
+//! demand on one station, diurnal waves that surge the whole population at
+//! once, spot-price spikes, and rolling capacity degradation. The sentinel
+//! and shedding rung (see `edgealloc::sentinel` / `edgealloc::shed`) are
+//! what has to survive it.
+//!
+//! The plan acts in two places, both deterministic under the scenario
+//! seed:
+//!
+//! 1. [`HostilePlan::shape_mobility`] reshapes the repetition's mobility
+//!    trace (flash crowds pull attachments to one station);
+//! 2. [`HostilePlan::apply`] installs per-slot demand/capacity scaling
+//!    factors and price spikes on the generated instance — through
+//!    [`Instance::scale_demand`]/[`Instance::scale_capacity`], so the
+//!    surge bypasses construction-time validation exactly like a real
+//!    mid-horizon overload and only the online view sees it.
+//!
+//! An empty plan is inert: it touches neither the mobility nor the
+//! instance, keeping trajectories bit-identical to a run without hostile
+//! wiring.
+
+use edgealloc::instance::Instance;
+use mobility::attach::MobilityInput;
+use mobility::hostile::FlashCrowdConfig;
+use mobility::stations::StationNetwork;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One hostile event class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HostileKind {
+    /// A flash crowd: users converge on `station` for
+    /// `[start, start + duration)` with probability `attraction`, and
+    /// every workload in the window is multiplied by `surge`.
+    FlashCrowd {
+        /// Station (edge-cloud index) the crowd converges on.
+        station: usize,
+        /// First slot of the crowd window.
+        start: usize,
+        /// Window length in slots.
+        duration: usize,
+        /// Per-user-slot probability of joining the crowd.
+        attraction: f64,
+        /// Demand multiplier inside the window (1 = attachment-only).
+        surge: f64,
+    },
+    /// A diurnal demand wave: slot `t`'s workloads are scaled by
+    /// `1 + amplitude · sin(2πt / period)` (clamped at zero).
+    DemandWave {
+        /// Wave period in slots.
+        period: usize,
+        /// Peak relative amplitude (e.g. `1.5` ⇒ up to 2.5× demand).
+        amplitude: f64,
+    },
+    /// Spot-market price spikes: each `(slot, cloud)` operation price is
+    /// multiplied by `factor` with probability `prob`.
+    PriceSpike {
+        /// Spike probability per (slot, cloud) pair.
+        prob: f64,
+        /// Price multiplier when a spike fires.
+        factor: f64,
+    },
+    /// Rolling capacity degradation: starting at `start`, cloud `i` loses
+    /// a `loss` fraction of its capacity for `slots_per_cloud` slots, one
+    /// cloud after another (a rolling maintenance/outage sweep).
+    RollingDegradation {
+        /// First slot of the sweep.
+        start: usize,
+        /// Degraded-window length per cloud.
+        slots_per_cloud: usize,
+        /// Capacity fraction lost while degraded, clamped to `[0, 1]`.
+        loss: f64,
+    },
+}
+
+/// The hostile events injected into every repetition of a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostilePlan {
+    /// Seed for the deterministic per-(slot, cloud) spike rolls.
+    #[serde(default)]
+    pub seed: u64,
+    /// Events, applied in order.
+    #[serde(default)]
+    pub events: Vec<HostileKind>,
+}
+
+/// SplitMix64-style hash of `(seed, a, b)` to a uniform value in `[0, 1)`,
+/// so price-spike rolls are deterministic and independent of call order.
+fn roll(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z =
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl HostilePlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        HostilePlan::default()
+    }
+
+    /// Whether the plan injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Reshapes a repetition's mobility trace: flash-crowd events pull
+    /// attachments toward their station (see
+    /// [`mobility::hostile::flash_crowd`]); the other event classes do not
+    /// touch mobility. An empty plan returns `mob` unchanged without
+    /// consuming randomness.
+    pub fn shape_mobility<R: Rng + ?Sized>(
+        &self,
+        net: &StationNetwork,
+        mob: MobilityInput,
+        rng: &mut R,
+    ) -> MobilityInput {
+        let mut shaped = mob;
+        for event in &self.events {
+            if let HostileKind::FlashCrowd {
+                station,
+                start,
+                duration,
+                attraction,
+                ..
+            } = *event
+            {
+                let cfg = FlashCrowdConfig {
+                    station,
+                    start,
+                    duration,
+                    attraction,
+                };
+                shaped = mobility::hostile::flash_crowd(net, &shaped, &cfg, rng);
+            }
+        }
+        shaped
+    }
+
+    /// Installs the plan's demand/capacity scaling factors and price
+    /// spikes on the generated instance. Factors compose multiplicatively
+    /// across events; out-of-range slots are ignored (a plan written for a
+    /// long horizon may be reused on a short one).
+    pub fn apply(&self, inst: &mut Instance) {
+        let num_slots = inst.num_slots();
+        let num_clouds = inst.num_clouds();
+        for event in &self.events {
+            match *event {
+                HostileKind::FlashCrowd {
+                    start,
+                    duration,
+                    surge,
+                    ..
+                } => {
+                    for t in start..start.saturating_add(duration).min(num_slots) {
+                        inst.scale_demand(t, surge);
+                    }
+                }
+                HostileKind::DemandWave { period, amplitude } => {
+                    if period == 0 {
+                        continue;
+                    }
+                    for t in 0..num_slots {
+                        let phase = 2.0 * std::f64::consts::PI * t as f64 / period as f64;
+                        // Negative troughs clamp to zero inside scale_demand.
+                        inst.scale_demand(t, 1.0 + amplitude * phase.sin());
+                    }
+                }
+                HostileKind::PriceSpike { prob, factor } => {
+                    let prob = if prob.is_finite() {
+                        prob.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    for t in 0..num_slots {
+                        for i in 0..num_clouds {
+                            if roll(self.seed, t as u64, i as u64) < prob {
+                                let spiked = inst.operation_prices_at(t)[i] * factor;
+                                inst.inject_operation_price(t, i, spiked);
+                            }
+                        }
+                    }
+                }
+                HostileKind::RollingDegradation {
+                    start,
+                    slots_per_cloud,
+                    loss,
+                } => {
+                    let keep = 1.0
+                        - if loss.is_finite() {
+                            loss.clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                    for i in 0..num_clouds {
+                        let lo = start.saturating_add(i.saturating_mul(slots_per_cloud));
+                        let hi = lo.saturating_add(slots_per_cloud).min(num_slots);
+                        for t in lo..hi.max(lo) {
+                            inst.scale_capacity(t, i, keep);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance() -> Instance {
+        Instance::fig1_example(2.1, true)
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = HostilePlan::none();
+        assert!(plan.is_empty());
+        let mut inst = instance();
+        plan.apply(&mut inst);
+        for t in 0..inst.num_slots() {
+            assert!(inst.scaled_slot(t).is_none(), "slot {t} gained factors");
+        }
+        let net = mobility::rome_metro();
+        let mob = mobility::random_walk::generate(&net, 4, 6, &mut StdRng::seed_from_u64(1));
+        let shaped = plan.shape_mobility(&net, mob.clone(), &mut StdRng::seed_from_u64(2));
+        assert_eq!(shaped, mob);
+    }
+
+    #[test]
+    fn flash_crowd_surges_its_window_only() {
+        let plan = HostilePlan {
+            seed: 0,
+            events: vec![HostileKind::FlashCrowd {
+                station: 0,
+                start: 1,
+                duration: 2,
+                attraction: 1.0,
+                surge: 3.0,
+            }],
+        };
+        let mut inst = instance();
+        plan.apply(&mut inst);
+        assert!(inst.scaled_slot(0).is_none());
+        assert_eq!(inst.demand_factor(1), 3.0);
+        assert_eq!(inst.demand_factor(2), 3.0);
+        assert!(inst.scaled_slot(3).is_none());
+    }
+
+    #[test]
+    fn demand_wave_oscillates_and_never_goes_negative() {
+        // fig1 has 3 slots; period 3 puts a crest at t=1 and a trough at
+        // t=2 (sin(4π/3) ≈ −0.87, so 1 + 2·sin goes negative).
+        let plan = HostilePlan {
+            seed: 0,
+            events: vec![HostileKind::DemandWave {
+                period: 3,
+                amplitude: 2.0,
+            }],
+        };
+        let mut inst = instance();
+        plan.apply(&mut inst);
+        assert_eq!(inst.demand_factor(0), 1.0); // sin(0) = 0
+        assert!(inst.demand_factor(1) > 2.7); // crest: 1 + 2·sin(2π/3)
+        assert_eq!(inst.demand_factor(2), 0.0); // trough clamps at zero
+    }
+
+    #[test]
+    fn price_spikes_are_deterministic_and_bounded_by_prob() {
+        let plan = HostilePlan {
+            seed: 42,
+            events: vec![HostileKind::PriceSpike {
+                prob: 0.5,
+                factor: 10.0,
+            }],
+        };
+        let mut a = instance();
+        let mut b = instance();
+        plan.apply(&mut a);
+        plan.apply(&mut b);
+        let reference = instance();
+        let mut spiked = 0usize;
+        let mut total = 0usize;
+        for t in 0..a.num_slots() {
+            for i in 0..a.num_clouds() {
+                assert_eq!(a.operation_prices_at(t)[i], b.operation_prices_at(t)[i]);
+                total += 1;
+                if a.operation_prices_at(t)[i] != reference.operation_prices_at(t)[i] {
+                    spiked += 1;
+                }
+            }
+        }
+        assert!(spiked > 0, "no spike fired out of {total}");
+        assert!(spiked < total, "every price spiked");
+    }
+
+    #[test]
+    fn rolling_degradation_sweeps_one_cloud_at_a_time() {
+        let plan = HostilePlan {
+            seed: 0,
+            events: vec![HostileKind::RollingDegradation {
+                start: 0,
+                slots_per_cloud: 1,
+                loss: 0.5,
+            }],
+        };
+        let mut inst = instance();
+        plan.apply(&mut inst);
+        assert_eq!(inst.capacity_factor(0, 0), 0.5);
+        assert_eq!(inst.capacity_factor(0, 1), 1.0);
+        assert_eq!(inst.capacity_factor(1, 1), 0.5);
+        assert_eq!(inst.capacity_factor(1, 0), 1.0);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json_and_legacy_json_parses() {
+        let plan = HostilePlan {
+            seed: 3,
+            events: vec![
+                HostileKind::FlashCrowd {
+                    station: 2,
+                    start: 5,
+                    duration: 10,
+                    attraction: 0.8,
+                    surge: 2.5,
+                },
+                HostileKind::PriceSpike {
+                    prob: 0.1,
+                    factor: 5.0,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: HostilePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        let empty: HostilePlan = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_empty());
+    }
+}

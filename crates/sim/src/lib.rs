@@ -29,11 +29,13 @@
 //! ```
 
 pub mod faults;
+pub mod hostile;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use faults::{FaultKind, FaultPlan, ShardFaultKind, ShardFaultPlan};
+pub use hostile::{HostileKind, HostilePlan};
 pub use runner::{run_scenario, AlgorithmOutcome, RepFailure, ScenarioOutcome};
 pub use scenario::{AlgorithmKind, MobilityKind, Scenario};

@@ -152,7 +152,21 @@ pub fn build_instance(scenario: &Scenario, repetition: usize) -> Result<Instance
         MobilityKind::RandomWalk { num_users } => {
             mobility::random_walk::generate(&net, num_users, scenario.num_slots, &mut rng)
         }
+        MobilityKind::Commute { num_users } => {
+            let cfg = mobility::hostile::CommuteConfig {
+                num_users,
+                num_slots: scenario.num_slots,
+                morning: scenario.num_slots / 4,
+                evening: (3 * scenario.num_slots) / 4,
+                jitter: (scenario.num_slots / 15).max(1),
+            };
+            mobility::hostile::commute_waves(&net, &cfg, &mut rng)
+        }
     };
+    // Hostile mobility shaping (flash crowds) happens before the instance
+    // is synthesized so capacities are provisioned against the *benign*
+    // utilization target — the crowd then genuinely overloads them.
+    let mob = scenario.hostile.shape_mobility(&net, mob, &mut rng);
     let cfg = SyntheticConfig {
         workload: scenario.workload,
         weights: scenario.weights(),
@@ -161,6 +175,7 @@ pub fn build_instance(scenario: &Scenario, repetition: usize) -> Result<Instance
         utilization: scenario.utilization,
     };
     let mut inst = Instance::synthetic_with(&net, mob, &cfg, &mut rng)?;
+    scenario.hostile.apply(&mut inst);
     scenario.faults.apply(&mut inst);
     Ok(inst)
 }

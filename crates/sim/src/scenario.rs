@@ -1,6 +1,7 @@
 //! Declarative experiment descriptions.
 
 use crate::faults::{FaultPlan, ShardFaultPlan};
+use crate::hostile::HostilePlan;
 use edgealloc::algorithms::{
     OnlineAlgorithm, OnlineGreedy, OnlineRegularized, OperOpt, PerfOpt, StatOpt, StaticPolicy,
     StaticVariant,
@@ -26,13 +27,23 @@ pub enum MobilityKind {
         /// Number of walkers/users.
         num_users: usize,
     },
+    /// Diurnal commute waves between home stations and a few work hubs —
+    /// the hostile mobility shape (see [`mobility::hostile`]). The wave
+    /// slots are derived from the scenario horizon (morning at ¼, evening
+    /// at ¾).
+    Commute {
+        /// Number of commuters/users.
+        num_users: usize,
+    },
 }
 
 impl MobilityKind {
     /// The number of users the scenario simulates.
     pub fn num_users(&self) -> usize {
         match *self {
-            MobilityKind::Taxi { num_users } | MobilityKind::RandomWalk { num_users } => num_users,
+            MobilityKind::Taxi { num_users }
+            | MobilityKind::RandomWalk { num_users }
+            | MobilityKind::Commute { num_users } => num_users,
         }
     }
 }
@@ -189,6 +200,12 @@ pub struct Scenario {
     /// JSON); see [`crate::faults::ShardFaultPlan`].
     #[serde(default)]
     pub shard_faults: ShardFaultPlan,
+    /// Hostile workload events (flash crowds, demand waves, price spikes,
+    /// rolling degradation) applied to every repetition's mobility and
+    /// instance (inert by default; absent in legacy scenario JSON); see
+    /// [`crate::hostile::HostilePlan`].
+    #[serde(default)]
+    pub hostile: HostilePlan,
 }
 
 impl Default for Scenario {
@@ -219,6 +236,7 @@ impl Default for Scenario {
             faults: FaultPlan::none(),
             slot_deadline_ms: None,
             shard_faults: ShardFaultPlan::none(),
+            hostile: HostilePlan::none(),
         }
     }
 }
@@ -290,6 +308,24 @@ mod tests {
         );
         let back: Scenario = serde_json::from_str(&legacy).unwrap();
         assert!(back.shard_faults.is_empty());
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_hostile_plan_parses() {
+        let json = serde_json::to_string(&Scenario::default()).unwrap();
+        let legacy = json.replace(",\"hostile\":{\"seed\":0,\"events\":[]}", "");
+        assert_ne!(
+            legacy, json,
+            "expected the field to be present and removable"
+        );
+        let back: Scenario = serde_json::from_str(&legacy).unwrap();
+        assert!(back.hostile.is_empty());
+    }
+
+    #[test]
+    fn commute_mobility_reports_its_user_count() {
+        let kind = MobilityKind::Commute { num_users: 17 };
+        assert_eq!(kind.num_users(), 17);
     }
 
     #[test]
